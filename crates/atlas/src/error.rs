@@ -1,0 +1,77 @@
+//! Error type for the pipeline layer.
+
+use std::fmt;
+
+/// Errors from pipeline or campaign execution.
+#[derive(Debug)]
+pub enum AtlasError {
+    /// Aligner-layer error.
+    Star(star_aligner::StarError),
+    /// SRA-layer error.
+    Sra(sra_sim::SraError),
+    /// Cloud-layer error.
+    Cloud(cloudsim::CloudError),
+    /// Normalization error.
+    Deseq(deseq_norm::DeseqError),
+    /// Inconsistent configuration.
+    InvalidParams(String),
+}
+
+impl fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtlasError::Star(e) => write!(f, "star: {e}"),
+            AtlasError::Sra(e) => write!(f, "sra: {e}"),
+            AtlasError::Cloud(e) => write!(f, "cloud: {e}"),
+            AtlasError::Deseq(e) => write!(f, "deseq: {e}"),
+            AtlasError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtlasError::Star(e) => Some(e),
+            AtlasError::Sra(e) => Some(e),
+            AtlasError::Cloud(e) => Some(e),
+            AtlasError::Deseq(e) => Some(e),
+            AtlasError::InvalidParams(_) => None,
+        }
+    }
+}
+
+impl From<star_aligner::StarError> for AtlasError {
+    fn from(e: star_aligner::StarError) -> Self {
+        AtlasError::Star(e)
+    }
+}
+impl From<sra_sim::SraError> for AtlasError {
+    fn from(e: sra_sim::SraError) -> Self {
+        AtlasError::Sra(e)
+    }
+}
+impl From<cloudsim::CloudError> for AtlasError {
+    fn from(e: cloudsim::CloudError) -> Self {
+        AtlasError::Cloud(e)
+    }
+}
+impl From<deseq_norm::DeseqError> for AtlasError {
+    fn from(e: deseq_norm::DeseqError) -> Self {
+        AtlasError::Deseq(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: AtlasError = deseq_norm::DeseqError::EmptyMatrix.into();
+        assert!(e.to_string().contains("deseq"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = AtlasError::InvalidParams("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! The Transcriptomics Atlas pipeline — the paper's contribution.
+//!
+//! Pulls everything together: the four-stage pipeline (Fig. 1), the AWS architecture
+//! (Fig. 2), and the two application-specific optimizations (§III):
+//!
+//! * [`pipeline`] — per-accession execution: `prefetch` → `fasterq-dump` → STAR
+//!   (with GeneCounts) → count collection, with per-stage time accounting.
+//! * [`early_stop`] — §III-B: the `Log.progress.out` monitor that aborts alignments
+//!   whose mapping rate sits below 30 % once ≥10 % of reads are processed, plus the
+//!   savings accounting behind Fig. 4.
+//! * [`right_size`] — §III-A's corollary: pick the cheapest instance type whose RAM
+//!   fits the index (85 GiB for release 108 vs 29.5 GiB for release 111).
+//! * [`orchestrator`] — the discrete-event campaign: SQS-fed autoscaled fleet,
+//!   index preload at instance init, spot interruptions with at-least-once
+//!   redelivery, results to S3, cost accounting.
+//! * [`analysis`] — the paper's progress-log analysis methodology: replay candidate
+//!   checkpoint policies over recorded `Log.progress.out` histories to find the
+//!   smallest safe checkpoint fraction (the data behind the 10 % rule).
+//! * [`report`] — human-readable experiment tables.
+//! * [`experiments`] — the code that regenerates every figure/table of the paper
+//!   (Fig. 3, the §III-A configuration table, Fig. 4, the architecture campaign);
+//!   see DESIGN.md's experiment index.
+
+pub mod analysis;
+pub mod early_stop;
+pub mod error;
+pub mod experiments;
+pub mod orchestrator;
+pub mod pipeline;
+pub mod report;
+pub mod right_size;
+
+pub use early_stop::{EarlyStopAccounting, EarlyStopPolicy};
+pub use error::AtlasError;
+pub use orchestrator::{CampaignConfig, CampaignReport, Orchestrator};
+pub use pipeline::{AtlasPipeline, PipelineConfig, PipelineResult, StageTimes};
+pub use right_size::RightSizer;

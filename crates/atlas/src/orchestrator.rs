@@ -1,0 +1,565 @@
+//! The cloud campaign orchestrator (paper Fig. 2).
+//!
+//! Runs a whole accession workload on the simulated AWS architecture:
+//!
+//! * accession ids go into an SQS queue;
+//! * an AutoScalingGroup sizes a fleet of (optionally spot) instances from the
+//!   backlog;
+//! * each instance spends its init phase downloading the STAR index from S3 and
+//!   loading it into shared memory — the overhead §III-A says shrinks with the
+//!   release-111 index;
+//! * ready instances poll the queue, run the four-stage pipeline per accession,
+//!   lease the message for the job's expected duration, upload results and delete
+//!   the message;
+//! * spot interruptions kill instances mid-job; the visibility timeout re-delivers
+//!   the orphaned message to another instance (at-least-once processing);
+//! * when the queue drains, the fleet scales in and the campaign settles costs and
+//!   DESeq2-normalizes the collected counts.
+//!
+//! The *pipelines run for real* (the aligner aligns); only time is simulated —
+//! stage durations advance the event clock, so a multi-hour campaign simulates in
+//! seconds of wall time.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::early_stop::SavingsSummary;
+use crate::pipeline::{AtlasPipeline, PipelineResult};
+use crate::AtlasError;
+use cloudsim::asg::AutoScalingGroup;
+use cloudsim::cost::{CostReport, CostTracker};
+use cloudsim::instance::{InstanceId, InstanceState, InstanceType};
+use cloudsim::sqs::ReceiptHandle;
+use cloudsim::{EventQueue, ScalingPolicy, SimDuration, SimTime, SpotMarket, SqsQueue, TimeSeries};
+use deseq_norm::{CountsMatrix, NormalizedMatrix};
+use star_aligner::quant::Strandedness;
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Instance type the ASG launches (pick with [`crate::RightSizer`]).
+    pub instance_type: &'static InstanceType,
+    /// Launch instances on the spot market.
+    pub spot: bool,
+    /// Spot pricing/interruption model.
+    pub spot_market: SpotMarket,
+    /// Fleet sizing policy.
+    pub scaling: ScalingPolicy,
+    /// Base SQS visibility timeout (workers extend it per job).
+    pub visibility_timeout: SimDuration,
+    /// Idle worker re-poll interval.
+    pub poll_interval: SimDuration,
+    /// ASG evaluation period.
+    pub scale_tick: SimDuration,
+    /// Index size charged at instance init (bytes). Use the measured blob size, or a
+    /// paper-scale override (85 GiB vs 29.5 GiB) for full-scale campaigns.
+    pub index_bytes: u64,
+    /// S3 download bandwidth at init, bytes/second.
+    pub index_download_bps: f64,
+    /// Shared-memory load rate after download, bytes/second.
+    pub index_load_bps: f64,
+    /// Visibility lease = expected job duration × this margin.
+    pub lease_margin: f64,
+    /// Safety stop for the simulated clock.
+    pub max_sim_secs: f64,
+}
+
+impl CampaignConfig {
+    /// A small-scale default around the given instance type and index size.
+    pub fn new(instance_type: &'static InstanceType, index_bytes: u64) -> CampaignConfig {
+        CampaignConfig {
+            instance_type,
+            spot: true,
+            spot_market: SpotMarket::default(),
+            scaling: ScalingPolicy::default(),
+            visibility_timeout: SimDuration::from_secs(120.0),
+            poll_interval: SimDuration::from_secs(20.0),
+            scale_tick: SimDuration::from_secs(60.0),
+            index_bytes,
+            index_download_bps: 400e6,
+            index_load_bps: 1e9,
+            lease_margin: 3.0,
+            max_sim_secs: 30.0 * 24.0 * 3600.0,
+        }
+    }
+
+    /// Instance init seconds: index download + load into shared memory.
+    pub fn init_secs(&self) -> f64 {
+        assert!(self.index_download_bps > 0.0 && self.index_load_bps > 0.0);
+        self.index_bytes as f64 / self.index_download_bps
+            + self.index_bytes as f64 / self.index_load_bps
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), AtlasError> {
+        self.scaling.validate().map_err(AtlasError::Cloud)?;
+        if self.lease_margin < 1.0 {
+            return Err(AtlasError::InvalidParams("lease_margin must be >= 1".into()));
+        }
+        if self.max_sim_secs <= 0.0 {
+            return Err(AtlasError::InvalidParams("max_sim_secs must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One sample of campaign telemetry (taken at every scale tick).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetSample {
+    /// Simulated time of the sample.
+    pub at_secs: f64,
+    /// Active (not terminated) instances.
+    pub active_instances: usize,
+    /// Undeleted messages (visible + in flight).
+    pub pending_messages: usize,
+}
+
+use serde::{Deserialize, Serialize};
+
+/// Campaign outcome.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-accession results in completion order.
+    pub completed: Vec<PipelineResult>,
+    /// Total simulated campaign duration.
+    pub makespan: SimDuration,
+    /// USD/instance-hour accounting.
+    pub cost: CostReport,
+    /// Instances launched over the campaign.
+    pub instances_launched: usize,
+    /// Spot interruptions that struck.
+    pub interruptions: usize,
+    /// Deliveries with `receive_count > 1` (work redone after loss/timeouts).
+    pub redeliveries: u64,
+    /// Early-stopping aggregate (Fig. 4 totals when the policy is on).
+    pub savings: SavingsSummary,
+    /// DESeq2-normalized counts across completed accessions (None when fewer than
+    /// one usable sample or no commonly expressed gene).
+    pub normalized: Option<NormalizedMatrix>,
+    /// Per-instance init seconds charged (download + load of the index).
+    pub init_secs_per_instance: f64,
+    /// Fleet telemetry over time.
+    pub fleet_timeline: Vec<FleetSample>,
+    /// Time-weighted mean active fleet size over the campaign.
+    pub mean_fleet_size: f64,
+    /// Fraction of active instance time spent busy on a pipeline (utilization —
+    /// the paper's "high utilization of resources" goal).
+    pub busy_fraction: f64,
+}
+
+enum Event {
+    InstanceReady(InstanceId),
+    Poll(InstanceId),
+    JobDone {
+        instance: InstanceId,
+        epoch: u64,
+        accession: String,
+        receipt: ReceiptHandle,
+        result: Box<PipelineResult>,
+    },
+    Interruption(InstanceId),
+    ScaleTick,
+}
+
+/// The campaign driver.
+pub struct Orchestrator {
+    pipeline: Arc<AtlasPipeline>,
+    config: CampaignConfig,
+}
+
+impl Orchestrator {
+    /// Create an orchestrator. Validates the configuration.
+    pub fn new(pipeline: Arc<AtlasPipeline>, config: CampaignConfig) -> Result<Orchestrator, AtlasError> {
+        config.validate()?;
+        Ok(Orchestrator { pipeline, config })
+    }
+
+    /// Run the campaign over `accessions`.
+    pub fn run(&self, accessions: &[String]) -> Result<CampaignReport, AtlasError> {
+        let cfg = &self.config;
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut sqs: SqsQueue<String> = SqsQueue::new(cfg.visibility_timeout);
+        let mut asg = AutoScalingGroup::new(cfg.scaling, cfg.instance_type, cfg.spot)
+            .map_err(AtlasError::Cloud)?;
+        let mut busy: HashMap<InstanceId, u64> = HashMap::new();
+        let mut next_epoch: u64 = 1;
+        let mut results: BTreeMap<String, PipelineResult> = BTreeMap::new();
+        let mut completion_order: Vec<String> = Vec::new();
+        let mut interruptions = 0usize;
+        let mut redeliveries = 0u64;
+        let mut timeline = Vec::new();
+        let mut fleet_series = TimeSeries::new();
+        let mut busy_series = TimeSeries::new();
+        let mut instance_serial = 0u64;
+
+        for a in accessions {
+            sqs.send(a.clone());
+        }
+        events.schedule(SimTime::ZERO, Event::ScaleTick);
+
+        let target = accessions.len();
+        let init = SimDuration::from_secs(cfg.init_secs());
+        // Generous safety valve: every accession can bounce a few times before we
+        // declare the simulation wedged.
+        let max_events = 10_000 + 200 * target as u64 + 100_000;
+        let mut n_events = 0u64;
+
+        while results.len() < target {
+            let Some((now, event)) = events.pop() else {
+                return Err(AtlasError::InvalidParams(
+                    "event queue drained before the campaign completed (simulation bug)".into(),
+                ));
+            };
+            if now.as_secs() > cfg.max_sim_secs {
+                return Err(AtlasError::InvalidParams(format!(
+                    "campaign exceeded max_sim_secs ({}); likely stuck",
+                    cfg.max_sim_secs
+                )));
+            }
+            n_events += 1;
+            if n_events > max_events {
+                return Err(AtlasError::InvalidParams("event budget exceeded (simulation bug)".into()));
+            }
+
+            match event {
+                Event::ScaleTick => {
+                    let pending = sqs.pending_count();
+                    let decision = asg.evaluate(pending);
+                    for _ in 0..decision.launch {
+                        let id = asg.launch(now);
+                        fleet_series.record(now, asg.active_count() as f64);
+                        instance_serial += 1;
+                        events.schedule(now + init, Event::InstanceReady(id));
+                        if cfg.spot {
+                            if let Some(t) =
+                                cfg.spot_market.sample_interruption(now, instance_serial)
+                            {
+                                events.schedule(t, Event::Interruption(id));
+                            }
+                        }
+                    }
+                    for id in decision.terminate {
+                        // Never scale-in a busy worker; it finishes its job first.
+                        if !busy.contains_key(&id) {
+                            if let Some(inst) = asg.instance_mut(id) {
+                                inst.terminate(now);
+                                fleet_series.record(now, asg.active_count() as f64);
+                            }
+                        }
+                    }
+                    timeline.push(FleetSample {
+                        at_secs: now.as_secs(),
+                        active_instances: asg.active_count(),
+                        pending_messages: pending,
+                    });
+                    fleet_series.record(now, asg.active_count() as f64);
+                    busy_series.record(now, busy.len() as f64);
+                    if results.len() < target {
+                        events.schedule(now + cfg.scale_tick, Event::ScaleTick);
+                    }
+                }
+                Event::InstanceReady(id) => {
+                    if let Some(inst) = asg.instance_mut(id) {
+                        if inst.state == InstanceState::Initializing {
+                            inst.mark_running().map_err(AtlasError::Cloud)?;
+                            events.schedule(now, Event::Poll(id));
+                        }
+                    }
+                }
+                Event::Poll(id) => {
+                    let alive = asg
+                        .instance_mut(id)
+                        .map(|i| i.state == InstanceState::Running)
+                        .unwrap_or(false);
+                    if !alive || busy.contains_key(&id) {
+                        continue;
+                    }
+                    match sqs.receive(now) {
+                        Some((accession, receipt, count)) => {
+                            if count > 1 {
+                                redeliveries += 1;
+                            }
+                            if results.contains_key(&accession) {
+                                // A duplicate delivery of already-finished work:
+                                // acknowledge and poll again immediately.
+                                let _ = sqs.delete(receipt);
+                                events.schedule(now, Event::Poll(id));
+                                continue;
+                            }
+                            let result = self.pipeline.run_accession(&accession)?;
+                            let duration = result.stage_secs.total().max(0.001);
+                            let epoch = next_epoch;
+                            next_epoch += 1;
+                            busy.insert(id, epoch);
+                            busy_series.record(now, busy.len() as f64);
+                            sqs.change_visibility(
+                                receipt,
+                                now,
+                                SimDuration::from_secs(duration * cfg.lease_margin),
+                            )
+                            .map_err(AtlasError::Cloud)?;
+                            events.schedule(
+                                now + SimDuration::from_secs(duration),
+                                Event::JobDone {
+                                    instance: id,
+                                    epoch,
+                                    accession,
+                                    receipt,
+                                    result: Box::new(result),
+                                },
+                            );
+                        }
+                        None => {
+                            if sqs.pending_count() > 0 {
+                                events.schedule(now + cfg.poll_interval, Event::Poll(id));
+                            }
+                            // Queue fully drained: stop polling; the ASG will reap us.
+                        }
+                    }
+                }
+                Event::JobDone { instance, epoch, accession, receipt, result } => {
+                    let alive = asg
+                        .instance_mut(instance)
+                        .map(|i| i.state != InstanceState::Terminated)
+                        .unwrap_or(false);
+                    if !alive || busy.get(&instance) != Some(&epoch) {
+                        // The worker died mid-job (spot reclaim): the result is lost
+                        // and the message will re-deliver after its lease expires.
+                        continue;
+                    }
+                    busy.remove(&instance);
+                    busy_series.record(now, busy.len() as f64);
+                    // The lease was sized with margin, so the delete should succeed;
+                    // if it somehow went stale the message re-delivers and the
+                    // duplicate is absorbed by the results map.
+                    let _ = sqs.delete(receipt);
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        results.entry(accession.clone())
+                    {
+                        completion_order.push(accession);
+                        slot.insert(*result);
+                    }
+                    events.schedule(now, Event::Poll(instance));
+                }
+                Event::Interruption(id) => {
+                    if let Some(inst) = asg.instance_mut(id) {
+                        if inst.state != InstanceState::Terminated {
+                            interruptions += 1;
+                            inst.terminate(now);
+                            busy.remove(&id);
+                            fleet_series.record(now, asg.active_count() as f64);
+                            busy_series.record(now, busy.len() as f64);
+                        }
+                    }
+                }
+            }
+        }
+
+        let end = events.now();
+        // Settle: terminate survivors and charge everyone.
+        let mut cost =
+            if cfg.spot { CostTracker::with_spot(cfg.spot_market) } else { CostTracker::on_demand() };
+        let instances_launched = asg.instances().len();
+        let ids: Vec<InstanceId> = asg.instances().iter().map(|i| i.id).collect();
+        for id in ids {
+            if let Some(inst) = asg.instance_mut(id) {
+                inst.terminate(end);
+            }
+        }
+        for inst in asg.instances() {
+            cost.charge(inst, end);
+        }
+
+        let fleet_instance_secs = fleet_series.integral_until(end);
+        let busy_instance_secs = busy_series.integral_until(end);
+        let mean_fleet_size = fleet_series.time_weighted_mean(end);
+        let busy_fraction =
+            if fleet_instance_secs > 0.0 { busy_instance_secs / fleet_instance_secs } else { 0.0 };
+
+        let mut savings = SavingsSummary::default();
+        let ordered: Vec<PipelineResult> = completion_order
+            .iter()
+            .map(|a| results.get(a).expect("recorded").clone())
+            .collect();
+        for r in &ordered {
+            savings.add(&r.early_stop);
+        }
+        let normalized = build_normalized(&ordered);
+
+        Ok(CampaignReport {
+            completed: ordered,
+            makespan: end - SimTime::ZERO,
+            cost: cost.report().clone(),
+            instances_launched,
+            interruptions,
+            redeliveries,
+            savings,
+            normalized,
+            init_secs_per_instance: cfg.init_secs(),
+            fleet_timeline: timeline,
+            mean_fleet_size,
+            busy_fraction,
+        })
+    }
+}
+
+/// DESeq2 step: assemble the counts matrix over accessions that produced counts and
+/// normalize it. Returns `None` when there is nothing usable.
+fn build_normalized(results: &[PipelineResult]) -> Option<NormalizedMatrix> {
+    let with_counts: Vec<&PipelineResult> =
+        results.iter().filter(|r| r.gene_counts.is_some()).collect();
+    if with_counts.is_empty() {
+        return None;
+    }
+    let gene_ids = with_counts[0].gene_counts.as_ref().expect("filtered").gene_ids.clone();
+    let sample_ids: Vec<String> = with_counts.iter().map(|r| r.accession.clone()).collect();
+    let mut matrix = CountsMatrix::zeros(gene_ids.clone(), sample_ids);
+    for (j, r) in with_counts.iter().enumerate() {
+        let gc = r.gene_counts.as_ref().expect("filtered");
+        for (g, id) in gene_ids.iter().enumerate() {
+            if let Some(c) = gc.count(id, Strandedness::Unstranded) {
+                matrix.set(g, j, c);
+            }
+        }
+    }
+    deseq_norm::normalize(&matrix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use genomics::annotation::AnnotationParams;
+    use genomics::{Annotation, EnsemblGenerator, EnsemblParams, Release};
+    use sra_sim::accession::CatalogParams;
+    use sra_sim::SraRepository;
+    use star_aligner::index::{IndexParams, StarIndex};
+
+    fn setup(n_accessions: usize, sc_fraction: f64) -> (Arc<AtlasPipeline>, Vec<String>, u64) {
+        let g = EnsemblGenerator::new(EnsemblParams::tiny()).unwrap();
+        let asm = Arc::new(g.generate(Release::R111));
+        let ann = Arc::new(Annotation::simulate(&asm, &g, &AnnotationParams::default()).unwrap());
+        let idx = Arc::new(StarIndex::build(&asm, &ann, &IndexParams::default()).unwrap());
+        let index_bytes = idx.stats().total_bytes() as u64;
+        let mut cat = CatalogParams::default();
+        cat.n_accessions = n_accessions;
+        cat.bulk_spots_median = 300;
+        cat.single_cell_fraction = sc_fraction;
+        let repo =
+            Arc::new(SraRepository::new(Arc::clone(&asm), Arc::clone(&ann), cat.generate().unwrap())
+                .with_spot_cap(600));
+        let mut pc = PipelineConfig::default();
+        pc.run_config.threads = 2;
+        pc.run_config.batch_size = 100;
+        let pipeline = Arc::new(AtlasPipeline::new(repo, idx, ann, pc).unwrap());
+        let ids = pipeline.repository().ids();
+        (pipeline, ids, index_bytes)
+    }
+
+    fn config(index_bytes: u64) -> CampaignConfig {
+        let t = InstanceType::by_name("r6a.xlarge").unwrap();
+        let mut c = CampaignConfig::new(t, index_bytes);
+        c.scaling = ScalingPolicy { min_size: 0, max_size: 4, target_backlog_per_instance: 3 };
+        c
+    }
+
+    #[test]
+    fn campaign_processes_every_accession() {
+        let (pipeline, ids, index_bytes) = setup(8, 0.25);
+        let orch = Orchestrator::new(pipeline, config(index_bytes)).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert_eq!(report.completed.len(), 8);
+        assert!(report.makespan.as_secs() > 0.0);
+        assert!(report.instances_launched >= 1);
+        assert!(report.cost.total_usd > 0.0);
+        // Every accession appears exactly once.
+        let mut seen: Vec<&str> = report.completed.iter().map(|r| r.accession.as_str()).collect();
+        seen.sort_unstable();
+        let mut expect: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn early_stops_show_up_in_savings() {
+        let (pipeline, ids, index_bytes) = setup(8, 0.25);
+        let orch = Orchestrator::new(pipeline, config(index_bytes)).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert_eq!(report.savings.runs, 8);
+        assert_eq!(report.savings.stopped, 2, "25% of 8 accessions are single-cell");
+        assert!(report.savings.saved_secs() > 0.0);
+        assert!(report.savings.saved_fraction() > 0.0);
+    }
+
+    #[test]
+    fn normalization_covers_completed_bulk_accessions() {
+        let (pipeline, ids, index_bytes) = setup(8, 0.25);
+        let orch = Orchestrator::new(pipeline, config(index_bytes)).unwrap();
+        let report = orch.run(&ids).unwrap();
+        let norm = report.normalized.expect("bulk accessions produce counts");
+        assert_eq!(norm.sample_ids.len(), 6, "2 of 8 were early-stopped and excluded");
+        assert_eq!(norm.size_factors.len(), 6);
+        assert!(norm.size_factors.iter().all(|&f| f > 0.0));
+    }
+
+    #[test]
+    fn spot_interruptions_cause_redelivery_not_loss() {
+        let (pipeline, ids, index_bytes) = setup(10, 0.0);
+        let mut cfg = config(index_bytes);
+        // Violent interruption pressure with fast ASG reaction so deaths actually
+        // strike within the short simulated campaign.
+        cfg.spot_market = SpotMarket { price_factor: 0.35, interruptions_per_hour: 1200.0, seed: 3 };
+        cfg.scale_tick = cloudsim::SimDuration::from_secs(5.0);
+        cfg.poll_interval = cloudsim::SimDuration::from_secs(2.0);
+        let orch = Orchestrator::new(pipeline, cfg).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert_eq!(report.completed.len(), 10, "all work completes despite interruptions");
+        assert!(report.interruptions > 0, "premise: interruptions actually struck");
+    }
+
+    #[test]
+    fn init_time_scales_with_index_bytes() {
+        let (pipeline, _, _) = setup(2, 0.0);
+        let t = InstanceType::by_name("r6a.xlarge").unwrap();
+        let small = CampaignConfig::new(t, 1_000_000);
+        let big = CampaignConfig::new(t, 10_000_000);
+        assert!(big.init_secs() > small.init_secs() * 5.0);
+        drop(pipeline);
+    }
+
+    #[test]
+    fn fleet_scales_with_backlog_and_drains() {
+        let (pipeline, ids, index_bytes) = setup(12, 0.0);
+        let orch = Orchestrator::new(pipeline, config(index_bytes)).unwrap();
+        let report = orch.run(&ids).unwrap();
+        let peak = report.fleet_timeline.iter().map(|s| s.active_instances).max().unwrap();
+        assert!(peak >= 2, "backlog of 12 with target 3/instance must scale out, peak {peak}");
+        let first = report.fleet_timeline.first().unwrap();
+        assert_eq!(first.pending_messages, 12);
+    }
+
+    #[test]
+    fn utilization_metrics_are_sane() {
+        let (pipeline, ids, index_bytes) = setup(10, 0.0);
+        let orch = Orchestrator::new(pipeline, config(index_bytes)).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert!(report.mean_fleet_size > 0.0, "fleet existed");
+        assert!(
+            report.mean_fleet_size
+                <= report.fleet_timeline.iter().map(|s| s.active_instances).max().unwrap() as f64,
+            "mean cannot exceed peak"
+        );
+        assert!((0.0..=1.0).contains(&report.busy_fraction), "busy {}", report.busy_fraction);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (pipeline, _, index_bytes) = setup(2, 0.0);
+        let mut cfg = config(index_bytes);
+        cfg.lease_margin = 0.5;
+        assert!(Orchestrator::new(Arc::clone(&pipeline), cfg).is_err());
+        let mut cfg = config(index_bytes);
+        cfg.max_sim_secs = 0.0;
+        assert!(Orchestrator::new(pipeline, cfg).is_err());
+    }
+}

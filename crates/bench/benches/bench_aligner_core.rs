@@ -1,0 +1,102 @@
+//! Core aligner micro-benchmarks: suffix-array construction, MMP seed search, and
+//! per-read-class alignment cost. These underpin the figure-level benches — when a
+//! figure's shape shifts, these localize which stage moved.
+
+use atlas_bench::{ensembl_params, Scale};
+use atlas_pipeline::experiments::Substrate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genomics::{DnaSeq, LibraryType, ReadSimulator, SimulatorParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use star_aligner::align::Aligner;
+use star_aligner::mmp::mmp_search;
+use star_aligner::sa::SuffixArray;
+use star_aligner::seed::collect_seeds;
+use star_aligner::AlignParams;
+
+fn bench_suffix_array_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_array_build");
+    group.sample_size(10);
+    for len in [100_000usize, 400_000, 1_600_000] {
+        let seq = DnaSeq::random(&mut StdRng::seed_from_u64(1), len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &seq, |b, seq| {
+            b.iter(|| SuffixArray::build(seq.codes()).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mmp_search(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let chrom = sub.asm_111.contig("1").expect("chromosome 1");
+    // Genomic 100-mers: every search runs to full depth.
+    let queries: Vec<Vec<u8>> =
+        (0..512).map(|i| chrom.seq.subseq(i * 97 % (chrom.len() - 100), i * 97 % (chrom.len() - 100) + 100).codes().to_vec()).collect();
+    let mut group = c.benchmark_group("mmp_search");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for (label, index) in [("release_108", &sub.index_108), ("release_111", &sub.index_111)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), index, |b, index| {
+            b.iter(|| {
+                queries.iter().map(|q| mmp_search(index, q, 0).len).sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_seed_collection(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let mut sim = ReadSimulator::new(
+        &sub.asm_111,
+        &sub.annotation,
+        SimulatorParams::for_library(LibraryType::BulkPolyA),
+        3,
+    )
+    .expect("simulator");
+    let reads: Vec<Vec<u8>> =
+        sim.simulate(512, "S").into_iter().map(|r| r.fastq.seq.codes().to_vec()).collect();
+    let params = AlignParams::default();
+    let mut group = c.benchmark_group("seed_collection");
+    group.throughput(Throughput::Elements(reads.len() as u64));
+    for (label, index) in [("release_108", &sub.index_108), ("release_111", &sub.index_111)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), index, |b, index| {
+            b.iter(|| reads.iter().map(|r| collect_seeds(index, r, &params).len()).sum::<usize>());
+        });
+    }
+    group.finish();
+}
+
+fn bench_align_by_read_class(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let aligner = Aligner::new(&sub.index_111, AlignParams::default());
+    let chrom = sub.asm_111.contig("1").expect("chromosome 1");
+    let genomic: Vec<DnaSeq> = (0..256).map(|i| chrom.seq.subseq(i * 131, i * 131 + 100)).collect();
+    let mut sc_sim = ReadSimulator::new(
+        &sub.asm_111,
+        &sub.annotation,
+        SimulatorParams::for_library(LibraryType::SingleCell3Prime),
+        5,
+    )
+    .expect("simulator");
+    let junky: Vec<DnaSeq> = sc_sim.simulate(256, "J").into_iter().map(|r| r.fastq.seq).collect();
+
+    let mut group = c.benchmark_group("align_read_class");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("genomic_perfect", |b| {
+        b.iter(|| genomic.iter().filter(|s| aligner.align_seq(s).is_mapped()).count())
+    });
+    group.bench_function("single_cell_mix", |b| {
+        b.iter(|| junky.iter().filter(|s| aligner.align_seq(s).is_mapped()).count())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suffix_array_build,
+    bench_mmp_search,
+    bench_seed_collection,
+    bench_align_by_read_class
+);
+criterion_main!(benches);

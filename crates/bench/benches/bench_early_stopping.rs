@@ -1,0 +1,68 @@
+//! E3 bench — Fig. 4: the cost of an alignment with and without early stopping.
+//!
+//! The paper's claim is that aborting sub-30 %-mapping runs at the 10 %-of-reads
+//! checkpoint recovers ~19.5 % of total STAR time, concentrated on single-cell
+//! libraries. This bench measures the alignment wall time of a single-cell read set
+//! with the policy on vs off (the on/off ratio is the per-run saving), plus a bulk
+//! control where the policy must never fire.
+
+use atlas_bench::{ensembl_params, Scale};
+use atlas_pipeline::early_stop::EarlyStopPolicy;
+use atlas_pipeline::experiments::Substrate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genomics::{FastqRecord, LibraryType, ReadSimulator, SimulatorParams};
+use star_aligner::runner::{RunConfig, RunMonitor, RunStatus, Runner};
+use star_aligner::AlignParams;
+
+fn reads(sub: &Substrate, library: LibraryType, n: usize, seed: u64) -> Vec<FastqRecord> {
+    let mut sim =
+        ReadSimulator::new(&sub.asm_111, &sub.annotation, SimulatorParams::for_library(library), seed)
+            .expect("simulator");
+    sim.simulate(n, "ES").into_iter().map(|r| r.fastq).collect()
+}
+
+fn bench_early_stopping(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    // Single-cell accessions are ~10x larger; keep that shape so the saving is visible.
+    let sc_reads = reads(&sub, LibraryType::SingleCell3Prime, 8_000, 21);
+    let bulk_reads = reads(&sub, LibraryType::BulkPolyA, 800, 22);
+    let run_config = RunConfig { threads: 4, batch_size: 400, quant: false, record_alignments: false, collect_junctions: false };
+    let runner =
+        Runner::new(&sub.index_111, AlignParams::default(), run_config).expect("runner");
+    let policy = EarlyStopPolicy::default();
+
+    let mut group = c.benchmark_group("fig4_early_stopping");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(sc_reads.len() as u64));
+    group.bench_with_input(BenchmarkId::new("single_cell", "policy_on"), &sc_reads, |b, reads| {
+        b.iter(|| {
+            let out = runner
+                .run(reads, None, Some(&policy as &dyn RunMonitor), None)
+                .expect("run");
+            assert!(matches!(out.status, RunStatus::EarlyStopped { .. }), "policy must fire");
+            out.final_snapshot.processed
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("single_cell", "policy_off"), &sc_reads, |b, reads| {
+        b.iter(|| {
+            let out = runner.run(reads, None, None, None).expect("run");
+            assert!(matches!(out.status, RunStatus::Completed));
+            out.final_snapshot.processed
+        });
+    });
+    group.throughput(Throughput::Elements(bulk_reads.len() as u64));
+    group.bench_with_input(BenchmarkId::new("bulk_control", "policy_on"), &bulk_reads, |b, reads| {
+        b.iter(|| {
+            let out = runner
+                .run(reads, None, Some(&policy as &dyn RunMonitor), None)
+                .expect("run");
+            assert!(matches!(out.status, RunStatus::Completed), "bulk must never be stopped");
+            out.final_snapshot.processed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_early_stopping);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E6 bench — the pseudoaligner future-work study: throughput of pseudoalignment vs
+//! full STAR-style alignment on the same reads, and the cost of a hopeless
+//! single-cell run with the progress stream on (early-stoppable) vs off (stock
+//! Salmon, must run to completion).
+
+use atlas_bench::{ensembl_params, Scale};
+use atlas_pipeline::early_stop::EarlyStopPolicy;
+use atlas_pipeline::experiments::Substrate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genomics::{FastqRecord, LibraryType, ReadSimulator, SimulatorParams};
+use pseudo_aligner::pseudoalign::PseudoParams;
+use pseudo_aligner::{PseudoIndex, PseudoIndexParams, PseudoRunConfig, PseudoRunner};
+use star_aligner::runner::{RunConfig, RunMonitor, Runner};
+use star_aligner::AlignParams;
+
+fn reads(sub: &Substrate, library: LibraryType, n: usize, seed: u64) -> Vec<FastqRecord> {
+    ReadSimulator::new(&sub.asm_111, &sub.annotation, SimulatorParams::for_library(library), seed)
+        .expect("simulator")
+        .simulate(n, "BP")
+        .into_iter()
+        .map(|r| r.fastq)
+        .collect()
+}
+
+fn bench_aligner_vs_pseudoaligner(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let pseudo_index =
+        PseudoIndex::build(&sub.asm_111, &sub.annotation, &PseudoIndexParams { k: 21 }).expect("index");
+    let bulk = reads(&sub, LibraryType::BulkPolyA, 3_000, 41);
+    let run_config =
+        RunConfig { threads: 4, batch_size: 1_000, quant: false, record_alignments: false, collect_junctions: false };
+
+    let mut group = c.benchmark_group("aligner_vs_pseudoaligner");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(bulk.len() as u64));
+    group.bench_function("star_full_alignment", |b| {
+        let runner = Runner::new(&sub.index_111, AlignParams::default(), run_config.clone()).expect("runner");
+        b.iter(|| runner.run(&bulk, None, None, None).expect("run").final_snapshot.processed);
+    });
+    group.bench_function("pseudoalignment", |b| {
+        let runner = PseudoRunner::new(
+            &pseudo_index,
+            PseudoParams::default(),
+            PseudoRunConfig { threads: 4, batch_size: 1_000, report_progress: true },
+        )
+        .expect("runner");
+        b.iter(|| runner.run(&bulk, None).expect("run").final_snapshot.processed);
+    });
+    group.finish();
+}
+
+fn bench_progress_stream_value(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let pseudo_index =
+        PseudoIndex::build(&sub.asm_111, &sub.annotation, &PseudoIndexParams { k: 21 }).expect("index");
+    // A hopeless (single-cell) library, 10x the bulk size like the paper's data.
+    let sc = reads(&sub, LibraryType::SingleCell3Prime, 10_000, 42);
+    let policy = EarlyStopPolicy::default();
+
+    let mut group = c.benchmark_group("pseudo_progress_stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(sc.len() as u64));
+    for (label, report_progress) in [("progress_on_early_stop", true), ("stock_mode_full_run", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &report_progress, |b, &rp| {
+            let runner = PseudoRunner::new(
+                &pseudo_index,
+                PseudoParams::default(),
+                PseudoRunConfig { threads: 4, batch_size: 500, report_progress: rp },
+            )
+            .expect("runner");
+            b.iter(|| {
+                runner
+                    .run(&sc, Some(&policy as &dyn RunMonitor))
+                    .expect("run")
+                    .final_snapshot
+                    .processed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aligner_vs_pseudoaligner, bench_progress_stream_value);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E1/E2 bench — Fig. 3 and the §III-A table: alignment throughput on the
+//! release-108 vs release-111 index, plus index construction cost.
+//!
+//! The paper's headline: the release-111 toplevel index makes STAR >12× faster
+//! (weighted by FASTQ size) at <1 % mapping-rate difference. Here the same read set
+//! is aligned against both indices; criterion reports the per-index batch time, whose
+//! ratio is the measured speedup.
+
+use atlas_bench::{ensembl_params, Scale};
+use atlas_pipeline::experiments::Substrate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genomics::{FastqRecord, LibraryType, ReadSimulator, SimulatorParams};
+use star_aligner::index::{IndexParams, StarIndex};
+use star_aligner::runner::{RunConfig, Runner};
+use star_aligner::AlignParams;
+
+fn reads_fixture(sub: &Substrate, n: usize) -> Vec<FastqRecord> {
+    let mut sim = ReadSimulator::new(
+        &sub.asm_111,
+        &sub.annotation,
+        SimulatorParams::for_library(LibraryType::BulkPolyA),
+        11,
+    )
+    .expect("simulator");
+    sim.simulate(n, "BENCH").into_iter().map(|r| r.fastq).collect()
+}
+
+fn bench_alignment_by_release(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let reads = reads_fixture(&sub, 3_000);
+    let mut params = AlignParams::default();
+    params.out_filter_multimap_nmax = 20;
+    let run_config = RunConfig { threads: 4, batch_size: 1_000, quant: false, record_alignments: false, collect_junctions: false };
+
+    let mut group = c.benchmark_group("fig3_alignment_time");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reads.len() as u64));
+    for (label, index) in [("release_108", &sub.index_108), ("release_111", &sub.index_111)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), index, |b, index| {
+            let runner = Runner::new(index, params.clone(), run_config.clone()).expect("runner");
+            b.iter(|| {
+                let out = runner.run(&reads, None, None, None).expect("run");
+                assert!(out.mapped_fraction() > 0.8);
+                out.final_snapshot.processed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build_by_release(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let mut group = c.benchmark_group("index_build_time");
+    group.sample_size(10);
+    for (label, asm) in [("release_108", &sub.asm_108), ("release_111", &sub.asm_111)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), asm, |b, asm| {
+            b.iter(|| {
+                let idx = StarIndex::build(asm, &sub.annotation, &IndexParams::default()).expect("build");
+                idx.stats().total_bytes()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_serialize(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let blob = sub.index_111.serialize();
+    let mut group = c.benchmark_group("index_serde");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("serialize_r111", |b| b.iter(|| sub.index_111.serialize().len()));
+    group.bench_function("deserialize_r111", |b| {
+        b.iter(|| StarIndex::deserialize(&blob).expect("deserialize").stats().genome_len)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alignment_by_release,
+    bench_index_build_by_release,
+    bench_index_serialize
+);
+criterion_main!(benches);

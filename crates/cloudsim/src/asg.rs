@@ -1,0 +1,209 @@
+//! AutoScalingGroup: queue-depth-driven fleet sizing.
+//!
+//! The paper scales its EC2 fleet with an AutoScalingGroup fed from the SQS backlog
+//! (the standard "backlog per instance" pattern): desired capacity =
+//! `ceil(pending_messages / target_backlog_per_instance)`, clamped to `[min, max]`.
+//! The group only *decides* sizes; the orchestrator launches/terminates instances and
+//! charges their cost.
+
+use crate::instance::{Instance, InstanceId, InstanceState, InstanceType};
+use crate::time::SimTime;
+use crate::CloudError;
+use serde::{Deserialize, Serialize};
+
+/// Scaling policy parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ScalingPolicy {
+    /// Minimum instances.
+    pub min_size: u32,
+    /// Maximum instances.
+    pub max_size: u32,
+    /// Target queue backlog per instance (messages).
+    pub target_backlog_per_instance: u32,
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        ScalingPolicy { min_size: 0, max_size: 16, target_backlog_per_instance: 4 }
+    }
+}
+
+impl ScalingPolicy {
+    /// Validate the policy.
+    pub fn validate(&self) -> Result<(), CloudError> {
+        if self.min_size > self.max_size {
+            return Err(CloudError::InvalidParams("min_size > max_size".into()));
+        }
+        if self.target_backlog_per_instance == 0 {
+            return Err(CloudError::InvalidParams("target backlog must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Desired capacity for a backlog of `pending` messages.
+    pub fn desired_capacity(&self, pending: usize) -> u32 {
+        let need = (pending as u32).div_ceil(self.target_backlog_per_instance);
+        need.clamp(self.min_size, self.max_size)
+    }
+}
+
+/// The group: policy + fleet bookkeeping.
+#[derive(Debug)]
+pub struct AutoScalingGroup {
+    policy: ScalingPolicy,
+    itype: &'static InstanceType,
+    spot: bool,
+    instances: Vec<Instance>,
+    next_id: u64,
+}
+
+/// A scaling decision: how many instances to launch, and which to terminate.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ScaleDecision {
+    /// Number of new instances to launch.
+    pub launch: u32,
+    /// Ids to terminate (newest-first, i.e. cheapest to lose).
+    pub terminate: Vec<InstanceId>,
+}
+
+impl AutoScalingGroup {
+    /// Create a group launching `itype` instances (spot or on-demand).
+    pub fn new(
+        policy: ScalingPolicy,
+        itype: &'static InstanceType,
+        spot: bool,
+    ) -> Result<AutoScalingGroup, CloudError> {
+        policy.validate()?;
+        Ok(AutoScalingGroup { policy, itype, spot, instances: Vec::new(), next_id: 1 })
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ScalingPolicy {
+        &self.policy
+    }
+
+    /// The instance type the group launches.
+    pub fn instance_type(&self) -> &'static InstanceType {
+        self.itype
+    }
+
+    /// All instances ever launched (including terminated), for cost accounting.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Mutable instance lookup by id.
+    pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut Instance> {
+        self.instances.iter_mut().find(|i| i.id == id)
+    }
+
+    /// Instances not yet terminated.
+    pub fn active_count(&self) -> usize {
+        self.instances.iter().filter(|i| i.state != InstanceState::Terminated).count()
+    }
+
+    /// Evaluate the policy against the backlog and return what to do. The caller
+    /// applies the decision via [`AutoScalingGroup::launch`] /
+    /// [`AutoScalingGroup::instance_mut`] + `terminate` so that it can schedule the
+    /// corresponding events.
+    pub fn evaluate(&self, pending_messages: usize) -> ScaleDecision {
+        let desired = self.policy.desired_capacity(pending_messages);
+        let active = self.active_count() as u32;
+        if desired > active {
+            ScaleDecision { launch: desired - active, terminate: Vec::new() }
+        } else if desired < active {
+            // Scale in newest-first (shortest-lived instances lose least state).
+            let mut live: Vec<&Instance> =
+                self.instances.iter().filter(|i| i.state != InstanceState::Terminated).collect();
+            live.sort_by_key(|i| std::cmp::Reverse(i.launched_at));
+            ScaleDecision {
+                launch: 0,
+                terminate: live.iter().take((active - desired) as usize).map(|i| i.id).collect(),
+            }
+        } else {
+            ScaleDecision::default()
+        }
+    }
+
+    /// Launch one instance now; returns its id.
+    pub fn launch(&mut self, now: SimTime) -> InstanceId {
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        self.instances.push(Instance::launch(id, self.itype, self.spot, now));
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> AutoScalingGroup {
+        AutoScalingGroup::new(
+            ScalingPolicy { min_size: 1, max_size: 8, target_backlog_per_instance: 10 },
+            InstanceType::by_name("r6a.4xlarge").unwrap(),
+            true,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn desired_capacity_is_backlog_over_target_clamped() {
+        let p = ScalingPolicy { min_size: 1, max_size: 8, target_backlog_per_instance: 10 };
+        assert_eq!(p.desired_capacity(0), 1, "min floor");
+        assert_eq!(p.desired_capacity(10), 1);
+        assert_eq!(p.desired_capacity(11), 2);
+        assert_eq!(p.desired_capacity(75), 8);
+        assert_eq!(p.desired_capacity(1000), 8, "max ceiling");
+    }
+
+    #[test]
+    fn evaluate_scales_out_then_in() {
+        let mut g = group();
+        let d = g.evaluate(35);
+        assert_eq!(d.launch, 4);
+        assert!(d.terminate.is_empty());
+        for _ in 0..4 {
+            g.launch(SimTime::from_secs(0.0));
+        }
+        assert_eq!(g.active_count(), 4);
+        // Backlog drains → scale in to 1.
+        let d = g.evaluate(5);
+        assert_eq!(d.launch, 0);
+        assert_eq!(d.terminate.len(), 3);
+        // No-op at steady state.
+        for id in d.terminate {
+            g.instance_mut(id).unwrap().terminate(SimTime::from_secs(100.0));
+        }
+        assert_eq!(g.evaluate(5), ScaleDecision::default());
+    }
+
+    #[test]
+    fn scale_in_prefers_newest_instances() {
+        let mut g = group();
+        let old = g.launch(SimTime::from_secs(0.0));
+        let newer = g.launch(SimTime::from_secs(100.0));
+        let newest = g.launch(SimTime::from_secs(200.0));
+        let d = g.evaluate(0); // desired = min = 1 → terminate 2
+        assert_eq!(d.terminate, vec![newest, newer]);
+        assert!(!d.terminate.contains(&old));
+    }
+
+    #[test]
+    fn invalid_policy_rejected() {
+        let p = ScalingPolicy { min_size: 5, max_size: 2, target_backlog_per_instance: 1 };
+        assert!(p.validate().is_err());
+        let p = ScalingPolicy { min_size: 0, max_size: 2, target_backlog_per_instance: 0 };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn launched_instances_record_spot_flag_and_type() {
+        let mut g = group();
+        let id = g.launch(SimTime::from_secs(7.0));
+        let inst = g.instance_mut(id).unwrap();
+        assert!(inst.spot);
+        assert_eq!(inst.itype.name, "r6a.4xlarge");
+        assert_eq!(inst.launched_at, SimTime::from_secs(7.0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for the cloud simulation layer.
+
+use std::fmt;
+
+/// Errors from simulated cloud operations.
+#[derive(Debug)]
+pub enum CloudError {
+    /// Object key not present in the store.
+    NoSuchKey(String),
+    /// Unknown instance type name.
+    UnknownInstanceType(String),
+    /// Operation on an instance in the wrong state.
+    InvalidState(String),
+    /// Inconsistent configuration.
+    InvalidParams(String),
+    /// SQS receipt handle is stale (message redelivered or deleted).
+    StaleReceipt(String),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::NoSuchKey(k) => write!(f, "no such key: {k}"),
+            CloudError::UnknownInstanceType(t) => write!(f, "unknown instance type: {t}"),
+            CloudError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            CloudError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            CloudError::StaleReceipt(m) => write!(f, "stale receipt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CloudError::NoSuchKey("s3://x/y".into()).to_string().contains("s3://x/y"));
+        assert!(CloudError::UnknownInstanceType("z9.mega".into()).to_string().contains("z9.mega"));
+    }
+}

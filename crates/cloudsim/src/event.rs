@@ -1,0 +1,156 @@
+//! Generic discrete-event queue.
+//!
+//! A binary heap of `(time, sequence, payload)`; the sequence number breaks ties
+//! FIFO, making simulations fully deterministic. The orchestration layer defines its
+//! own payload enum and drives the loop with [`EventQueue::pop`].
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(SimTime, u64)>,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue::default()
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Panics when scheduling in the past — a simulation bug that must not be
+    /// silently reordered.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        self.heap.push(Entry { key: Reverse((at, self.seq)), payload });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` `delay` after now.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        let Reverse((at, _)) = entry.key;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, entry.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), "c");
+        q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops_and_schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10.0), "x");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(10.0));
+        q.schedule_in(SimDuration::from_secs(5.0), "y");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10.0), "x");
+        q.pop();
+        q.schedule(SimTime::from_secs(5.0), "y");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(2.0), ());
+        q.schedule(SimTime::from_secs(1.0), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Discrete-event cloud simulator.
+//!
+//! Models the AWS services the paper's architecture (Fig. 2) is built from, at the
+//! level of detail its claims depend on:
+//!
+//! * [`time`] — simulated clock types ([`time::SimTime`], [`time::SimDuration`]).
+//! * [`event`] — the generic discrete-event queue every simulation is driven by.
+//! * [`instance`] — EC2 instance-type catalog (vCPU / memory / hourly price, incl.
+//!   the paper's `r6a.4xlarge` testbed) and instance lifecycle.
+//! * [`spot`] — spot pricing discount and a Poisson interruption process.
+//! * [`sqs`] — the work queue: visibility timeouts, at-least-once redelivery —
+//!   exactly the property that makes the architecture resilient to spot reclaims.
+//! * [`s3`] — the object store holding the pre-built index and pipeline results.
+//! * [`asg`] — AutoScalingGroup sizing instances from queue backlog.
+//! * [`cost`] — instance-seconds × price accounting (the "minimize cloud costs"
+//!   goal the paper optimizes for).
+//! * [`metrics`] — time-series telemetry (fleet size, queue depth) with
+//!   time-weighted summary statistics for campaign reports.
+//!
+//! Nothing here sleeps or talks to a network: time advances only through the event
+//! queue, so campaigns over thousands of accessions simulate in milliseconds.
+
+pub mod asg;
+pub mod cost;
+pub mod error;
+pub mod event;
+pub mod instance;
+pub mod metrics;
+pub mod s3;
+pub mod spot;
+pub mod sqs;
+pub mod time;
+
+pub use asg::{AutoScalingGroup, ScalingPolicy};
+pub use cost::CostTracker;
+pub use error::CloudError;
+pub use event::EventQueue;
+pub use instance::{Instance, InstanceId, InstanceState, InstanceType, INSTANCE_CATALOG};
+pub use metrics::TimeSeries;
+pub use s3::ObjectStore;
+pub use spot::SpotMarket;
+pub use sqs::SqsQueue;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,170 @@
+//! S3-style object store.
+//!
+//! Holds the pre-built STAR index that instances download at init and the pipeline
+//! results they upload on success. Transfer durations are modeled
+//! (`bytes / bandwidth + latency`) for the cloud clock; contents are real bytes so
+//! integration tests can round-trip archives and indices through it.
+
+use crate::time::SimDuration;
+use crate::CloudError;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Transfer cost model for the store.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Sustained throughput in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-request latency in seconds.
+    pub latency_secs: f64,
+}
+
+impl Default for TransferModel {
+    /// ~400 MB/s in-region S3 to a large instance, 50 ms request latency.
+    fn default() -> Self {
+        TransferModel { bandwidth_bytes_per_sec: 400e6, latency_secs: 0.05 }
+    }
+}
+
+impl TransferModel {
+    /// Modeled duration to move `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        assert!(self.bandwidth_bytes_per_sec > 0.0);
+        SimDuration::from_secs(self.latency_secs + bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+}
+
+/// The object store: key → bytes, with transfer accounting.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<String, Bytes>,
+    transfer: TransferModel,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl ObjectStore {
+    /// An empty store with the default transfer model.
+    pub fn new() -> ObjectStore {
+        ObjectStore::with_model(TransferModel::default())
+    }
+
+    /// An empty store with a custom transfer model.
+    pub fn with_model(transfer: TransferModel) -> ObjectStore {
+        ObjectStore { objects: BTreeMap::new(), transfer, bytes_in: 0, bytes_out: 0 }
+    }
+
+    /// Upload an object; returns the modeled transfer duration.
+    pub fn put(&mut self, key: &str, data: Bytes) -> SimDuration {
+        let d = self.transfer.transfer_time(data.len() as u64);
+        self.bytes_in += data.len() as u64;
+        self.objects.insert(key.to_string(), data);
+        d
+    }
+
+    /// Download an object; returns the data and the modeled transfer duration.
+    pub fn get(&mut self, key: &str) -> Result<(Bytes, SimDuration), CloudError> {
+        let data =
+            self.objects.get(key).cloned().ok_or_else(|| CloudError::NoSuchKey(key.to_string()))?;
+        self.bytes_out += data.len() as u64;
+        let d = self.transfer.transfer_time(data.len() as u64);
+        Ok((data, d))
+    }
+
+    /// Object size without transferring.
+    pub fn head(&self, key: &str) -> Result<u64, CloudError> {
+        self.objects
+            .get(key)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| CloudError::NoSuchKey(key.to_string()))
+    }
+
+    /// Delete an object (idempotent, like S3).
+    pub fn delete(&mut self, key: &str) {
+        self.objects.remove(key);
+    }
+
+    /// Keys under a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects.keys().filter(|k| k.starts_with(prefix)).cloned().collect()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total bytes uploaded / downloaded so far.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.bytes_in, self.bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip_with_accounting() {
+        let mut s = ObjectStore::with_model(TransferModel {
+            bandwidth_bytes_per_sec: 100.0,
+            latency_secs: 1.0,
+        });
+        let d_up = s.put("bucket/index.bin", Bytes::from(vec![1u8; 500]));
+        assert!((d_up.as_secs() - 6.0).abs() < 1e-9);
+        let (data, d_down) = s.get("bucket/index.bin").unwrap();
+        assert_eq!(data.len(), 500);
+        assert!((d_down.as_secs() - 6.0).abs() < 1e-9);
+        assert_eq!(s.traffic(), (500, 500));
+    }
+
+    #[test]
+    fn missing_keys_error() {
+        let mut s = ObjectStore::new();
+        assert!(matches!(s.get("nope"), Err(CloudError::NoSuchKey(_))));
+        assert!(s.head("nope").is_err());
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let mut s = ObjectStore::new();
+        s.put("results/SRR2", Bytes::from_static(b"x"));
+        s.put("results/SRR1", Bytes::from_static(b"y"));
+        s.put("index/r111", Bytes::from_static(b"z"));
+        assert_eq!(s.list("results/"), vec!["results/SRR1".to_string(), "results/SRR2".to_string()]);
+        assert_eq!(s.list("").len(), 3);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let mut s = ObjectStore::new();
+        s.put("k", Bytes::from_static(b"v"));
+        s.delete("k");
+        s.delete("k");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn head_does_not_count_traffic() {
+        let mut s = ObjectStore::new();
+        s.put("k", Bytes::from(vec![0u8; 100]));
+        let (in0, out0) = s.traffic();
+        assert_eq!(s.head("k").unwrap(), 100);
+        assert_eq!(s.traffic(), (in0, out0));
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut s = ObjectStore::new();
+        s.put("k", Bytes::from_static(b"old"));
+        s.put("k", Bytes::from_static(b"newer"));
+        assert_eq!(s.head("k").unwrap(), 5);
+        assert_eq!(s.len(), 1);
+    }
+}

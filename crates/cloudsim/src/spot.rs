@@ -1,0 +1,98 @@
+//! Spot market model: discounted pricing and Poisson interruptions.
+//!
+//! The paper's architecture runs the AutoScalingGroup "in spot mode for cheaper
+//! processing"; the SQS visibility timeout makes interrupted work re-deliverable.
+//! [`SpotMarket`] provides the two knobs that matter: a price discount factor and a
+//! memoryless interruption process (exponential inter-arrival per instance).
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Spot market parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SpotMarket {
+    /// Spot price as a fraction of on-demand (AWS spot typically 0.3–0.4 for r6a).
+    pub price_factor: f64,
+    /// Mean interruptions per instance-hour (0 disables interruptions).
+    pub interruptions_per_hour: f64,
+    /// Seed for the interruption process.
+    pub seed: u64,
+}
+
+impl Default for SpotMarket {
+    fn default() -> Self {
+        SpotMarket { price_factor: 0.35, interruptions_per_hour: 0.0, seed: 7 }
+    }
+}
+
+impl SpotMarket {
+    /// Spot USD/hour for an instance type.
+    pub fn hourly_price(&self, on_demand_hourly_usd: f64) -> f64 {
+        on_demand_hourly_usd * self.price_factor
+    }
+
+    /// Sample the interruption time for an instance launched at `launched_at`.
+    /// Returns `None` when interruptions are disabled. Deterministic per
+    /// `(seed, instance_serial)`.
+    pub fn sample_interruption(&self, launched_at: SimTime, instance_serial: u64) -> Option<SimTime> {
+        if self.interruptions_per_hour <= 0.0 {
+            return None;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(instance_serial));
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        // Exponential inter-arrival with rate λ per hour.
+        let hours = -u.ln() / self.interruptions_per_hour;
+        Some(launched_at + SimDuration::from_hours(hours))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spot_price_is_discounted() {
+        let m = SpotMarket { price_factor: 0.35, ..SpotMarket::default() };
+        assert!((m.hourly_price(1.0) - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_disables_interruptions() {
+        let m = SpotMarket::default();
+        assert!(m.sample_interruption(SimTime::ZERO, 1).is_none());
+    }
+
+    #[test]
+    fn interruptions_are_deterministic_per_instance() {
+        let m = SpotMarket { interruptions_per_hour: 0.5, ..SpotMarket::default() };
+        let a = m.sample_interruption(SimTime::ZERO, 42).unwrap();
+        let b = m.sample_interruption(SimTime::ZERO, 42).unwrap();
+        assert_eq!(a, b);
+        let c = m.sample_interruption(SimTime::ZERO, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_interruption_time_tracks_rate() {
+        let m = SpotMarket { interruptions_per_hour: 2.0, ..SpotMarket::default() };
+        let n = 2000;
+        let mean_hours: f64 = (0..n)
+            .map(|i| m.sample_interruption(SimTime::ZERO, i).unwrap().as_hours())
+            .sum::<f64>()
+            / n as f64;
+        // Exponential with λ=2/h → mean 0.5 h.
+        assert!((mean_hours - 0.5).abs() < 0.05, "mean {mean_hours}");
+    }
+
+    #[test]
+    fn interruption_is_after_launch() {
+        let m = SpotMarket { interruptions_per_hour: 1.0, ..SpotMarket::default() };
+        let launch = SimTime::from_secs(5000.0);
+        for i in 0..100 {
+            assert!(m.sample_interruption(launch, i).unwrap() > launch);
+        }
+    }
+}

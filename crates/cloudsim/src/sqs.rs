@@ -1,0 +1,291 @@
+//! SQS-style work queue with visibility timeouts and at-least-once delivery.
+//!
+//! The architecture's backbone (Fig. 2): SRA ids are sent to the queue, instances
+//! poll, and a message only disappears when the worker *deletes* it after success. If
+//! a worker dies (spot reclaim) or stalls past the visibility timeout, the message
+//! becomes visible again and another instance picks it up.
+
+use crate::time::{SimDuration, SimTime};
+use crate::CloudError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Receipt handle returned by [`SqsQueue::receive`]; required to delete or extend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReceiptHandle(u64);
+
+/// A message with its delivery metadata.
+#[derive(Clone, Debug)]
+struct StoredMessage<M> {
+    body: M,
+    /// Times this message has been delivered.
+    receive_count: u32,
+    /// In-flight until this time (None = visible).
+    invisible_until: Option<SimTime>,
+    /// Receipt of the current in-flight delivery.
+    current_receipt: Option<ReceiptHandle>,
+    /// True once deleted.
+    deleted: bool,
+}
+
+/// The queue. Time never advances inside it: callers pass `now` explicitly (from the
+/// event queue) and the message store reconciles visibility lazily.
+#[derive(Debug)]
+pub struct SqsQueue<M> {
+    messages: Vec<StoredMessage<M>>,
+    /// Indices of (potentially) visible messages, FIFO.
+    visible: VecDeque<usize>,
+    default_visibility: SimDuration,
+    next_receipt: u64,
+}
+
+impl<M: Clone> SqsQueue<M> {
+    /// An empty queue with the given default visibility timeout.
+    pub fn new(default_visibility: SimDuration) -> SqsQueue<M> {
+        SqsQueue {
+            messages: Vec::new(),
+            visible: VecDeque::new(),
+            default_visibility,
+            next_receipt: 1,
+        }
+    }
+
+    /// Send a message.
+    pub fn send(&mut self, body: M) {
+        let idx = self.messages.len();
+        self.messages.push(StoredMessage {
+            body,
+            receive_count: 0,
+            invisible_until: None,
+            current_receipt: None,
+            deleted: false,
+        });
+        self.visible.push_back(idx);
+    }
+
+    /// Try to receive one message at time `now`. Returns the body, its receipt
+    /// handle, and the delivery count (1 for first delivery).
+    pub fn receive(&mut self, now: SimTime) -> Option<(M, ReceiptHandle, u32)> {
+        self.reconcile(now);
+        while let Some(idx) = self.visible.pop_front() {
+            let msg = &mut self.messages[idx];
+            if msg.deleted {
+                continue;
+            }
+            if let Some(t) = msg.invisible_until {
+                if t > now {
+                    // Still in flight: keep it out of the visible list; reconcile
+                    // will re-add it on expiry.
+                    continue;
+                }
+            }
+            msg.receive_count += 1;
+            msg.invisible_until = Some(now + self.default_visibility);
+            let receipt = ReceiptHandle(self.next_receipt);
+            self.next_receipt += 1;
+            msg.current_receipt = Some(receipt);
+            return Some((msg.body.clone(), receipt, msg.receive_count));
+        }
+        None
+    }
+
+    /// Delete a message by receipt. Fails if the receipt is stale (the message timed
+    /// out and was redelivered, or was already deleted).
+    pub fn delete(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
+        let msg = self
+            .messages
+            .iter_mut()
+            .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
+            .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
+        msg.deleted = true;
+        msg.current_receipt = None;
+        Ok(())
+    }
+
+    /// Extend (or shrink) the visibility of an in-flight message — workers heartbeat
+    /// long alignments this way.
+    pub fn change_visibility(
+        &mut self,
+        receipt: ReceiptHandle,
+        now: SimTime,
+        timeout: SimDuration,
+    ) -> Result<(), CloudError> {
+        let msg = self
+            .messages
+            .iter_mut()
+            .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
+            .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
+        msg.invisible_until = Some(now + timeout);
+        Ok(())
+    }
+
+    /// Messages currently visible (deliverable) at `now`.
+    pub fn visible_count(&mut self, now: SimTime) -> usize {
+        self.reconcile(now);
+        self.visible
+            .iter()
+            .filter(|&&i| {
+                let m = &self.messages[i];
+                !m.deleted && m.invisible_until.is_none_or(|t| t <= now)
+            })
+            .count()
+    }
+
+    /// Messages in flight (delivered, not deleted, not yet expired) at `now`.
+    pub fn in_flight_count(&self, now: SimTime) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| !m.deleted && m.invisible_until.is_some_and(|t| t > now))
+            .count()
+    }
+
+    /// Total undeleted messages (visible + in flight).
+    pub fn pending_count(&self) -> usize {
+        self.messages.iter().filter(|m| !m.deleted).count()
+    }
+
+    /// Re-queue messages whose visibility timeout expired.
+    fn reconcile(&mut self, now: SimTime) {
+        for (idx, msg) in self.messages.iter_mut().enumerate() {
+            if msg.deleted {
+                continue;
+            }
+            if let Some(t) = msg.invisible_until {
+                if t <= now {
+                    // Expired: receipt becomes stale, message is visible again.
+                    msg.invisible_until = None;
+                    msg.current_receipt = None;
+                    if !self.visible.contains(&idx) {
+                        self.visible.push_back(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn queue() -> SqsQueue<String> {
+        SqsQueue::new(SimDuration::from_secs(30.0))
+    }
+
+    #[test]
+    fn fifo_delivery_and_delete() {
+        let mut q = queue();
+        q.send("a".into());
+        q.send("b".into());
+        let (m1, r1, c1) = q.receive(t(0.0)).unwrap();
+        assert_eq!((m1.as_str(), c1), ("a", 1));
+        let (m2, _, _) = q.receive(t(0.0)).unwrap();
+        assert_eq!(m2, "b");
+        assert!(q.receive(t(0.0)).is_none(), "both in flight");
+        q.delete(r1).unwrap();
+        assert_eq!(q.pending_count(), 1);
+    }
+
+    #[test]
+    fn visibility_timeout_redelivers() {
+        let mut q = queue();
+        q.send("a".into());
+        let (_, r, c) = q.receive(t(0.0)).unwrap();
+        assert_eq!(c, 1);
+        // Before expiry: invisible.
+        assert!(q.receive(t(29.0)).is_none());
+        // After expiry: redelivered with bumped count, old receipt stale.
+        let (_, _, c2) = q.receive(t(31.0)).unwrap();
+        assert_eq!(c2, 2);
+        assert!(q.delete(r).is_err(), "stale receipt must not delete");
+        assert_eq!(q.pending_count(), 1);
+    }
+
+    #[test]
+    fn delete_before_timeout_wins() {
+        let mut q = queue();
+        q.send("a".into());
+        let (_, r, _) = q.receive(t(0.0)).unwrap();
+        q.delete(r).unwrap();
+        assert!(q.receive(t(100.0)).is_none());
+        assert_eq!(q.pending_count(), 0);
+        assert!(q.delete(r).is_err(), "double delete rejected");
+    }
+
+    #[test]
+    fn change_visibility_extends_the_lease() {
+        let mut q = queue();
+        q.send("a".into());
+        let (_, r, _) = q.receive(t(0.0)).unwrap();
+        q.change_visibility(r, t(20.0), SimDuration::from_secs(100.0)).unwrap();
+        assert!(q.receive(t(60.0)).is_none(), "lease extended to t=120");
+        let (_, _, c) = q.receive(t(121.0)).unwrap();
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn counts_reflect_states() {
+        let mut q = queue();
+        for i in 0..5 {
+            q.send(format!("m{i}"));
+        }
+        assert_eq!(q.visible_count(t(0.0)), 5);
+        let (_, r, _) = q.receive(t(0.0)).unwrap();
+        let _ = q.receive(t(0.0)).unwrap();
+        assert_eq!(q.visible_count(t(0.0)), 3);
+        assert_eq!(q.in_flight_count(t(0.0)), 2);
+        assert_eq!(q.pending_count(), 5);
+        q.delete(r).unwrap();
+        assert_eq!(q.pending_count(), 4);
+        // After timeout the undeleted in-flight message returns.
+        assert_eq!(q.visible_count(t(31.0)), 4);
+        assert_eq!(q.in_flight_count(t(31.0)), 0);
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut q = queue();
+        assert!(q.receive(t(0.0)).is_none());
+        assert_eq!(q.visible_count(t(0.0)), 0);
+    }
+
+    #[test]
+    fn many_cycles_never_lose_or_duplicate_live_messages() {
+        // Property-style: random receive/delete/timeout interleavings keep
+        // pending = sent - deleted.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut q: SqsQueue<u32> = SqsQueue::new(SimDuration::from_secs(10.0));
+        let mut now = 0.0f64;
+        let mut deleted = 0usize;
+        for i in 0..200u32 {
+            q.send(i);
+        }
+        let mut receipts: Vec<ReceiptHandle> = Vec::new();
+        for _ in 0..2000 {
+            now += rng.gen_range(0.1..3.0);
+            match rng.gen_range(0..3) {
+                0 => {
+                    if let Some((_, r, _)) = q.receive(t(now)) {
+                        receipts.push(r);
+                    }
+                }
+                1 => {
+                    if !receipts.is_empty() {
+                        let r = receipts.swap_remove(rng.gen_range(0..receipts.len()));
+                        if q.delete(r).is_ok() {
+                            deleted += 1;
+                        }
+                    }
+                }
+                _ => { /* just let time pass */ }
+            }
+        }
+        assert_eq!(q.pending_count(), 200 - deleted);
+    }
+}

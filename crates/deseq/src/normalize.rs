@@ -1,0 +1,205 @@
+//! Median-of-ratios size factors and normalized counts.
+
+use crate::matrix::CountsMatrix;
+use std::fmt;
+
+/// Errors from normalization.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DeseqError {
+    /// The matrix has no genes or no samples.
+    EmptyMatrix,
+    /// No gene is expressed in every sample, so geometric means are all zero and
+    /// size factors are undefined (DESeq2 errors identically).
+    NoCommonlyExpressedGenes,
+}
+
+impl fmt::Display for DeseqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeseqError::EmptyMatrix => write!(f, "counts matrix is empty"),
+            DeseqError::NoCommonlyExpressedGenes =>
+
+                write!(f, "every gene contains a zero count; cannot compute size factors"),
+        }
+    }
+}
+
+impl std::error::Error for DeseqError {}
+
+/// Per-sample size factors by the median-of-ratios method.
+///
+/// For gene `g` with counts `k[g][j]`, the reference is the geometric mean
+/// `GM[g] = (∏_j k[g][j])^(1/m)`; the size factor of sample `j` is
+/// `median_g(k[g][j] / GM[g])` over genes with `GM[g] > 0`.
+pub fn size_factors(matrix: &CountsMatrix) -> Result<Vec<f64>, DeseqError> {
+    let (n_genes, n_samples) = (matrix.n_genes(), matrix.n_samples());
+    if n_genes == 0 || n_samples == 0 {
+        return Err(DeseqError::EmptyMatrix);
+    }
+    // log geometric means; genes with any zero are excluded (log(0) = -inf).
+    let mut usable_log_gm: Vec<(usize, f64)> = Vec::new();
+    for g in 0..n_genes {
+        let row = matrix.row(g);
+        if row.iter().all(|&k| k > 0) {
+            let mean_log = row.iter().map(|&k| (k as f64).ln()).sum::<f64>() / n_samples as f64;
+            usable_log_gm.push((g, mean_log));
+        }
+    }
+    if usable_log_gm.is_empty() {
+        return Err(DeseqError::NoCommonlyExpressedGenes);
+    }
+    let mut factors = Vec::with_capacity(n_samples);
+    for j in 0..n_samples {
+        let mut log_ratios: Vec<f64> = usable_log_gm
+            .iter()
+            .map(|&(g, log_gm)| (matrix.get(g, j) as f64).ln() - log_gm)
+            .collect();
+        log_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite log ratios"));
+        factors.push(median_of_sorted(&log_ratios).exp());
+    }
+    Ok(factors)
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// A normalized (f64) matrix with its size factors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormalizedMatrix {
+    /// Gene labels (same order as the input matrix).
+    pub gene_ids: Vec<String>,
+    /// Sample labels.
+    pub sample_ids: Vec<String>,
+    /// The size factor of each sample.
+    pub size_factors: Vec<f64>,
+    /// Row-major normalized counts.
+    pub data: Vec<f64>,
+}
+
+impl NormalizedMatrix {
+    /// The normalized count for `(gene, sample)`.
+    pub fn get(&self, gene: usize, sample: usize) -> f64 {
+        self.data[gene * self.sample_ids.len() + sample]
+    }
+}
+
+/// Normalize a counts matrix: `normalized[g][j] = k[g][j] / size_factor[j]`.
+pub fn normalize(matrix: &CountsMatrix) -> Result<NormalizedMatrix, DeseqError> {
+    let factors = size_factors(matrix)?;
+    let n_samples = matrix.n_samples();
+    let mut data = Vec::with_capacity(matrix.n_genes() * n_samples);
+    for g in 0..matrix.n_genes() {
+        for (j, &f) in factors.iter().enumerate() {
+            data.push(matrix.get(g, j) as f64 / f);
+        }
+    }
+    Ok(NormalizedMatrix {
+        gene_ids: matrix.gene_ids().to_vec(),
+        sample_ids: matrix.sample_ids().to_vec(),
+        size_factors: factors,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<u64>>) -> CountsMatrix {
+        let n_samples = rows[0].len();
+        CountsMatrix::from_rows(
+            (0..rows.len()).map(|i| format!("g{i}")).collect(),
+            (0..n_samples).map(|i| format!("s{i}")).collect(),
+            rows,
+        )
+    }
+
+    #[test]
+    fn identical_samples_get_unit_factors() {
+        let m = matrix(vec![vec![10, 10], vec![5, 5], vec![100, 100]]);
+        let f = size_factors(&m).unwrap();
+        for x in f {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_depth_difference_is_recovered() {
+        // Sample 2 is exactly 3× deeper: factors must be in ratio 3 and normalized
+        // counts equal.
+        let m = matrix(vec![vec![10, 30], vec![20, 60], vec![7, 21]]);
+        let f = size_factors(&m).unwrap();
+        assert!((f[1] / f[0] - 3.0).abs() < 1e-9, "{f:?}");
+        let n = normalize(&m).unwrap();
+        for g in 0..3 {
+            assert!((n.get(g, 0) - n.get(g, 1)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_of_factors_is_one_for_balanced_designs() {
+        // Median-of-ratios anchors factors to the geometric-mean pseudo-reference;
+        // a symmetric design yields factors whose product is ~1.
+        let m = matrix(vec![vec![10, 90], vec![90, 10], vec![30, 30], vec![40, 40], vec![55, 55]]);
+        let f = size_factors(&m).unwrap();
+        let prod: f64 = f.iter().product();
+        assert!((prod - 1.0).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn zero_containing_genes_are_excluded_from_reference() {
+        // g0 has a zero → excluded; remaining genes say sample2 is 2× deeper.
+        let m = matrix(vec![vec![0, 1000], vec![10, 20], vec![30, 60], vec![5, 10]]);
+        let f = size_factors(&m).unwrap();
+        assert!((f[1] / f[0] - 2.0).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn all_zero_rows_error() {
+        let m = matrix(vec![vec![0, 5], vec![3, 0]]);
+        assert_eq!(size_factors(&m).unwrap_err(), DeseqError::NoCommonlyExpressedGenes);
+    }
+
+    #[test]
+    fn empty_matrix_errors() {
+        let m = CountsMatrix::zeros(vec![], vec!["s".into()]);
+        assert_eq!(size_factors(&m).unwrap_err(), DeseqError::EmptyMatrix);
+    }
+
+    #[test]
+    fn single_sample_gets_unit_factor() {
+        let m = matrix(vec![vec![10], vec![20], vec![5]]);
+        let f = size_factors(&m).unwrap();
+        assert_eq!(f.len(), 1);
+        assert!((f[0] - 1.0).abs() < 1e-12, "geometric mean of one sample is itself");
+    }
+
+    #[test]
+    fn normalization_divides_by_factor() {
+        let m = matrix(vec![vec![10, 30], vec![20, 60], vec![7, 21]]);
+        let n = normalize(&m).unwrap();
+        for g in 0..3 {
+            for (j, &f) in n.size_factors.iter().enumerate() {
+                assert!((n.get(g, j) - m.get(g, j) as f64 / f).abs() < 1e-12);
+            }
+        }
+        assert_eq!(n.gene_ids.len(), 3);
+        assert_eq!(n.sample_ids.len(), 2);
+    }
+
+    #[test]
+    fn factors_are_robust_to_one_outlier_gene() {
+        // One wildly DE gene must not drag the median.
+        let mut rows = vec![vec![50u64, 50]; 21];
+        rows.push(vec![10, 100000]);
+        let m = matrix(rows);
+        let f = size_factors(&m).unwrap();
+        assert!((f[0] - 1.0).abs() < 0.05 && (f[1] - 1.0).abs() < 0.05, "{f:?}");
+    }
+}

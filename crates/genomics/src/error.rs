@@ -1,0 +1,66 @@
+//! Error type shared by the parsing and generation routines of this crate.
+
+use std::fmt;
+
+/// Errors produced while parsing sequence formats or constructing assemblies.
+#[derive(Debug)]
+pub enum GenomicsError {
+    /// An I/O error from an underlying reader or writer.
+    Io(std::io::Error),
+    /// A FASTA/FASTQ record violated the format (context in the message).
+    Format(String),
+    /// A character outside the DNA alphabet was encountered.
+    InvalidBase(char),
+    /// A request referenced a contig/gene that does not exist.
+    NotFound(String),
+    /// Parameters given to a generator were inconsistent.
+    InvalidParams(String),
+}
+
+impl fmt::Display for GenomicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomicsError::Io(e) => write!(f, "i/o error: {e}"),
+            GenomicsError::Format(m) => write!(f, "format error: {m}"),
+            GenomicsError::InvalidBase(c) => write!(f, "invalid base character: {c:?}"),
+            GenomicsError::NotFound(m) => write!(f, "not found: {m}"),
+            GenomicsError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GenomicsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenomicsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GenomicsError {
+    fn from(e: std::io::Error) -> Self {
+        GenomicsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = GenomicsError::Format("truncated record".into());
+        assert!(e.to_string().contains("truncated record"));
+        let e = GenomicsError::InvalidBase('Z');
+        assert!(e.to_string().contains('Z'));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: GenomicsError = io.into();
+        assert!(matches!(e, GenomicsError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

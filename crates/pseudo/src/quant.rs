@@ -1,0 +1,179 @@
+//! Equivalence-class counting and EM abundance estimation (the kallisto/Salmon
+//! quantification step).
+//!
+//! Pseudoalignment yields, per read, a compatible transcript set; quantification
+//! tallies reads per distinct set and runs the standard EM: each class's count is
+//! fractionally assigned to its transcripts proportionally to current abundance ÷
+//! effective length, iterated to convergence.
+
+use std::collections::HashMap;
+
+/// Read counts per compatible-transcript set.
+#[derive(Clone, Debug, Default)]
+pub struct EqClassCounts {
+    /// (sorted transcript set) → reads.
+    counts: HashMap<Vec<u32>, u64>,
+    /// Reads with an empty compatible set.
+    pub unmapped: u64,
+}
+
+impl EqClassCounts {
+    /// An empty tally.
+    pub fn new() -> EqClassCounts {
+        EqClassCounts::default()
+    }
+
+    /// Record one read's compatible set (empty = unmapped).
+    pub fn record(&mut self, compatible: &[u32]) {
+        if compatible.is_empty() {
+            self.unmapped += 1;
+        } else {
+            *self.counts.entry(compatible.to_vec()).or_default() += 1;
+        }
+    }
+
+    /// Total pseudoaligned reads.
+    pub fn mapped(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct classes observed.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate over (set, count).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_slice(), v))
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: EqClassCounts) {
+        self.unmapped += other.unmapped;
+        for (set, n) in other.counts {
+            *self.counts.entry(set).or_default() += n;
+        }
+    }
+}
+
+/// EM abundance estimation.
+///
+/// `lengths[t]` is transcript `t`'s (effective) length; returns per-transcript
+/// expected read counts summing to the mapped total. Deterministic: uniform
+/// initialization, fixed iteration cap, L1 convergence threshold.
+pub fn em_abundances(counts: &EqClassCounts, lengths: &[usize], max_iters: usize, tol: f64) -> Vec<f64> {
+    let n = lengths.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_mapped = counts.mapped() as f64;
+    let mut alpha = vec![total_mapped / n as f64; n];
+    if total_mapped == 0.0 {
+        return vec![0.0; n];
+    }
+    let eff_len: Vec<f64> = lengths.iter().map(|&l| (l.max(1)) as f64).collect();
+    for _ in 0..max_iters {
+        let mut next = vec![0.0f64; n];
+        for (set, reads) in counts.iter() {
+            // Responsibility of transcript t for this class ∝ alpha_t / eff_len_t.
+            let denom: f64 = set.iter().map(|&t| alpha[t as usize] / eff_len[t as usize]).sum();
+            if denom <= 0.0 {
+                // Degenerate: split uniformly.
+                for &t in set {
+                    next[t as usize] += reads as f64 / set.len() as f64;
+                }
+                continue;
+            }
+            for &t in set {
+                let w = (alpha[t as usize] / eff_len[t as usize]) / denom;
+                next[t as usize] += reads as f64 * w;
+            }
+        }
+        let delta: f64 = alpha.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        alpha = next;
+        if delta < tol {
+            break;
+        }
+    }
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_tally_and_merge() {
+        let mut c = EqClassCounts::new();
+        c.record(&[0]);
+        c.record(&[0]);
+        c.record(&[0, 1]);
+        c.record(&[]);
+        assert_eq!(c.mapped(), 3);
+        assert_eq!(c.unmapped, 1);
+        assert_eq!(c.n_classes(), 2);
+        let mut d = EqClassCounts::new();
+        d.record(&[0, 1]);
+        d.record(&[]);
+        c.merge(d);
+        assert_eq!(c.mapped(), 4);
+        assert_eq!(c.unmapped, 2);
+        assert_eq!(c.n_classes(), 2, "same set merges into one class");
+    }
+
+    #[test]
+    fn em_resolves_unique_evidence() {
+        // Transcript 0 has 90 unique reads, transcript 1 has 10; a shared class of
+        // 100 reads should split ~90/10 after EM.
+        let mut c = EqClassCounts::new();
+        for _ in 0..90 {
+            c.record(&[0]);
+        }
+        for _ in 0..10 {
+            c.record(&[1]);
+        }
+        for _ in 0..100 {
+            c.record(&[0, 1]);
+        }
+        let alpha = em_abundances(&c, &[1000, 1000], 500, 1e-9);
+        assert!((alpha[0] + alpha[1] - 200.0).abs() < 1e-6, "mass conserved");
+        assert!(alpha[0] > 170.0, "shared reads follow unique evidence: {alpha:?}");
+        assert!(alpha[1] < 30.0);
+    }
+
+    #[test]
+    fn em_accounts_for_length_bias() {
+        // Equal shared counts over transcripts of length 100 and 1000: the short one
+        // is more densely covered per base, so EM gives it a higher rate share but
+        // total counts split by alpha/len weighting from a uniform start.
+        let mut c = EqClassCounts::new();
+        for _ in 0..100 {
+            c.record(&[0, 1]);
+        }
+        let alpha = em_abundances(&c, &[100, 1000], 500, 1e-9);
+        assert!((alpha[0] + alpha[1] - 100.0).abs() < 1e-6);
+        assert!(alpha[0] > alpha[1], "shorter transcript takes the larger share: {alpha:?}");
+    }
+
+    #[test]
+    fn em_handles_empty_and_unmapped_only() {
+        let c = EqClassCounts::new();
+        assert_eq!(em_abundances(&c, &[100, 200], 10, 1e-9), vec![0.0, 0.0]);
+        assert!(em_abundances(&c, &[], 10, 1e-9).is_empty());
+        let mut only_unmapped = EqClassCounts::new();
+        only_unmapped.record(&[]);
+        assert_eq!(em_abundances(&only_unmapped, &[100], 10, 1e-9), vec![0.0]);
+    }
+
+    #[test]
+    fn em_is_deterministic() {
+        let mut c = EqClassCounts::new();
+        for i in 0..50u32 {
+            c.record(&[i % 3]);
+            c.record(&[0, 1, 2]);
+        }
+        let a = em_abundances(&c, &[500, 600, 700], 200, 1e-9);
+        let b = em_abundances(&c, &[500, 600, 700], 200, 1e-9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,360 @@
+//! SRA-lite binary container.
+//!
+//! A compact format standing in for NCBI's `.sra`: fixed header, then per-read
+//! records with 2-bit packed bases and a single representative quality byte (real SRA
+//! also column-compresses qualities; one byte preserves the size *shape*: packed
+//! archives re-expand ~8× when dumped to FASTQ, which is what makes `fasterq-dump` a
+//! real pipeline stage worth modeling).
+
+use crate::accession::{LibraryLayout, LibraryStrategy};
+use crate::SraError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use genomics::{DnaSeq, FastqRecord};
+
+/// Magic bytes opening every archive.
+pub const MAGIC: &[u8; 8] = b"SRALITE2";
+/// Fixed header size in bytes (magic + strategy + layout + reads + read_len + id
+/// length slot).
+pub const HEADER_SIZE: usize = 8 + 1 + 1 + 8 + 4 + 4;
+
+/// A decoded-on-demand SRA archive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SraArchive {
+    /// Accession id this archive belongs to.
+    pub accession: String,
+    /// Library strategy recorded in the header.
+    pub strategy: LibraryStrategy,
+    /// Library layout (paired archives store mates interleaved: r1, r2, r1, r2...).
+    pub layout: LibraryLayout,
+    /// Read length (uniform; the simulators emit fixed-length reads).
+    pub read_len: u32,
+    /// The encoded payload.
+    blob: Bytes,
+}
+
+impl SraArchive {
+    /// Encode single-end reads into an archive. All reads must share `read_len` bases.
+    pub fn encode(
+        accession: &str,
+        strategy: LibraryStrategy,
+        reads: &[FastqRecord],
+    ) -> Result<SraArchive, SraError> {
+        Self::encode_with_layout(accession, strategy, LibraryLayout::Single, reads)
+    }
+
+    /// Encode paired-end reads: mates are stored interleaved (r1, r2 per spot).
+    pub fn encode_paired(
+        accession: &str,
+        strategy: LibraryStrategy,
+        pairs: &[(FastqRecord, FastqRecord)],
+    ) -> Result<SraArchive, SraError> {
+        let mut flat = Vec::with_capacity(pairs.len() * 2);
+        for (r1, r2) in pairs {
+            flat.push(r1.clone());
+            flat.push(r2.clone());
+        }
+        Self::encode_with_layout(accession, strategy, LibraryLayout::Paired, &flat)
+    }
+
+    fn encode_with_layout(
+        accession: &str,
+        strategy: LibraryStrategy,
+        layout: LibraryLayout,
+        reads: &[FastqRecord],
+    ) -> Result<SraArchive, SraError> {
+        let read_len = reads.first().map_or(0, |r| r.seq.len() as u32);
+        if reads.iter().any(|r| r.seq.len() as u32 != read_len) {
+            return Err(SraError::InvalidParams("reads must have uniform length".into()));
+        }
+        let packed_per_read = (read_len as usize).div_ceil(4);
+        let mut buf =
+            BytesMut::with_capacity(HEADER_SIZE + accession.len() + reads.len() * (packed_per_read + 1));
+        buf.put_slice(MAGIC);
+        buf.put_u8(strategy_code(strategy));
+        buf.put_u8(match layout {
+            LibraryLayout::Single => 0,
+            LibraryLayout::Paired => 1,
+        });
+        buf.put_u64_le(reads.len() as u64);
+        buf.put_u32_le(read_len);
+        buf.put_u32_le(accession.len() as u32);
+        buf.put_slice(accession.as_bytes());
+        for r in reads {
+            // 2-bit pack.
+            let mut word = 0u8;
+            for (i, &code) in r.seq.codes().iter().enumerate() {
+                word |= code << ((i % 4) * 2);
+                if i % 4 == 3 {
+                    buf.put_u8(word);
+                    word = 0;
+                }
+            }
+            if !(read_len as usize).is_multiple_of(4) {
+                buf.put_u8(word);
+            }
+            // Representative quality: the mean Phred rounded.
+            buf.put_u8(r.mean_quality().round() as u8);
+        }
+        Ok(SraArchive {
+            accession: accession.to_string(),
+            strategy,
+            layout,
+            read_len,
+            blob: buf.freeze(),
+        })
+    }
+
+    /// Wrap raw bytes (e.g. fetched from the object store), validating the header.
+    pub fn from_bytes(blob: Bytes) -> Result<SraArchive, SraError> {
+        let mut b = blob.clone();
+        if b.remaining() < HEADER_SIZE {
+            return Err(SraError::CorruptArchive("truncated header".into()));
+        }
+        let mut magic = [0u8; 8];
+        b.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(SraError::CorruptArchive("bad magic".into()));
+        }
+        let strategy = strategy_from_code(b.get_u8())?;
+        let layout = match b.get_u8() {
+            0 => LibraryLayout::Single,
+            1 => LibraryLayout::Paired,
+            other => return Err(SraError::CorruptArchive(format!("layout code {other}"))),
+        };
+        let n_reads = b.get_u64_le();
+        let read_len = b.get_u32_le();
+        let id_len = b.get_u32_le() as usize;
+        if id_len > 256 || b.remaining() < id_len {
+            return Err(SraError::CorruptArchive("bad id length".into()));
+        }
+        let accession = String::from_utf8(b.copy_to_bytes(id_len).to_vec())
+            .map_err(|_| SraError::CorruptArchive("non-utf8 accession".into()))?;
+        let per_read = (read_len as usize).div_ceil(4) + 1;
+        if b.remaining() as u64 != n_reads * per_read as u64 {
+            return Err(SraError::CorruptArchive(format!(
+                "payload is {} bytes, expected {}",
+                b.remaining(),
+                n_reads * per_read as u64
+            )));
+        }
+        if layout == LibraryLayout::Paired && !n_reads.is_multiple_of(2) {
+            return Err(SraError::CorruptArchive("paired archive with odd read count".into()));
+        }
+        Ok(SraArchive { accession, strategy, layout, read_len, blob })
+    }
+
+    /// Reads per spot under this archive's layout.
+    fn reads_per_spot(&self) -> u64 {
+        match self.layout {
+            LibraryLayout::Single => 1,
+            LibraryLayout::Paired => 2,
+        }
+    }
+
+    /// Total reads stored (mates count individually).
+    pub fn n_reads(&self) -> u64 {
+        let per_read = (self.read_len as usize).div_ceil(4) + 1;
+        let payload = self.blob.len() - HEADER_SIZE - self.accession.len();
+        (payload / per_read) as u64
+    }
+
+    /// Number of spots stored (single: reads; paired: mate pairs).
+    pub fn spots(&self) -> u64 {
+        self.n_reads() / self.reads_per_spot()
+    }
+
+    /// Total archive size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.blob.len() as u64
+    }
+
+    /// The raw bytes (for storing in the object store).
+    pub fn bytes(&self) -> Bytes {
+        self.blob.clone()
+    }
+
+    /// Decode the read at flat index `i` (0-based; paired archives interleave mates).
+    pub fn decode_read(&self, i: u64) -> Result<FastqRecord, SraError> {
+        if i >= self.n_reads() {
+            return Err(SraError::CorruptArchive(format!("read index {i} out of range")));
+        }
+        let per_read = (self.read_len as usize).div_ceil(4) + 1;
+        let payload_start = HEADER_SIZE + self.accession.len();
+        let off = payload_start + i as usize * per_read;
+        let packed = &self.blob[off..off + per_read - 1];
+        let qual = self.blob[off + per_read - 1];
+        let mut codes = Vec::with_capacity(self.read_len as usize);
+        for j in 0..self.read_len as usize {
+            codes.push((packed[j / 4] >> ((j % 4) * 2)) & 0b11);
+        }
+        let id = match self.layout {
+            LibraryLayout::Single => format!("{}.{}", self.accession, i + 1),
+            LibraryLayout::Paired => {
+                format!("{}.{}/{}", self.accession, i / 2 + 1, i % 2 + 1)
+            }
+        };
+        Ok(FastqRecord::with_uniform_quality(id, DnaSeq::from_codes(codes), qual))
+    }
+
+    /// Decode the mate pair at spot `i` (paired archives only).
+    pub fn decode_pair(&self, i: u64) -> Result<(FastqRecord, FastqRecord), SraError> {
+        if self.layout != LibraryLayout::Paired {
+            return Err(SraError::InvalidParams("decode_pair on a single-end archive".into()));
+        }
+        Ok((self.decode_read(2 * i)?, self.decode_read(2 * i + 1)?))
+    }
+
+    /// Decode every read (see [`crate::fasterq_dump`] for the parallel tool model).
+    pub fn decode_all(&self) -> Result<Vec<FastqRecord>, SraError> {
+        (0..self.n_reads()).map(|i| self.decode_read(i)).collect()
+    }
+
+    /// Decode every mate pair (paired archives only).
+    pub fn decode_all_pairs(&self) -> Result<Vec<(FastqRecord, FastqRecord)>, SraError> {
+        (0..self.spots()).map(|i| self.decode_pair(i)).collect()
+    }
+}
+
+fn strategy_code(s: LibraryStrategy) -> u8 {
+    match s {
+        LibraryStrategy::RnaSeqBulk => 0,
+        LibraryStrategy::SingleCell => 1,
+    }
+}
+
+fn strategy_from_code(c: u8) -> Result<LibraryStrategy, SraError> {
+    match c {
+        0 => Ok(LibraryStrategy::RnaSeqBulk),
+        1 => Ok(LibraryStrategy::SingleCell),
+        other => Err(SraError::CorruptArchive(format!("strategy code {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reads(n: usize, len: usize, seed: u64) -> Vec<FastqRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                FastqRecord::with_uniform_quality(
+                    format!("SRRX.{}", i + 1),
+                    DnaSeq::random(&mut rng, len),
+                    35,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trips_sequences() {
+        let rs = reads(50, 100, 1);
+        let arc = SraArchive::encode("SRRX", LibraryStrategy::RnaSeqBulk, &rs).unwrap();
+        assert_eq!(arc.spots(), 50);
+        let back = arc.decode_all().unwrap();
+        for (orig, dec) in rs.iter().zip(&back) {
+            assert_eq!(dec.seq, orig.seq);
+            assert_eq!(dec.id, orig.id);
+            assert_eq!(dec.qual[0], 35);
+        }
+    }
+
+    #[test]
+    fn handles_read_lengths_not_divisible_by_four() {
+        for len in [1usize, 3, 5, 99, 101] {
+            let rs = reads(7, len, len as u64);
+            let arc = SraArchive::encode("S", LibraryStrategy::SingleCell, &rs).unwrap();
+            let back = arc.decode_all().unwrap();
+            assert_eq!(back.len(), 7);
+            for (o, d) in rs.iter().zip(&back) {
+                assert_eq!(o.seq, d.seq, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_bytes_validates_and_round_trips() {
+        let rs = reads(10, 100, 2);
+        let arc = SraArchive::encode("SRRY", LibraryStrategy::SingleCell, &rs).unwrap();
+        let again = SraArchive::from_bytes(arc.bytes()).unwrap();
+        assert_eq!(again, arc);
+        assert_eq!(again.strategy, LibraryStrategy::SingleCell);
+
+        // Corrupt magic.
+        let mut bad = arc.bytes().to_vec();
+        bad[0] = b'X';
+        assert!(SraArchive::from_bytes(Bytes::from(bad)).is_err());
+        // Truncated payload.
+        let bad = arc.bytes().slice(0..arc.bytes().len() - 3);
+        assert!(SraArchive::from_bytes(bad).is_err());
+        // Bad strategy code.
+        let mut bad = arc.bytes().to_vec();
+        bad[8] = 9;
+        assert!(SraArchive::from_bytes(Bytes::from(bad)).is_err());
+        // Bad layout code.
+        let mut bad = arc.bytes().to_vec();
+        bad[9] = 7;
+        assert!(SraArchive::from_bytes(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn rejects_nonuniform_reads() {
+        let mut rs = reads(3, 100, 3);
+        rs.push(FastqRecord::with_uniform_quality("x".into(), "ACGT".parse().unwrap(), 30));
+        assert!(SraArchive::encode("S", LibraryStrategy::RnaSeqBulk, &rs).is_err());
+    }
+
+    #[test]
+    fn empty_archive_is_fine() {
+        let arc = SraArchive::encode("S", LibraryStrategy::RnaSeqBulk, &[]).unwrap();
+        assert_eq!(arc.spots(), 0);
+        assert!(arc.decode_all().unwrap().is_empty());
+        assert!(arc.decode_read(0).is_err());
+    }
+
+    #[test]
+    fn paired_archive_round_trips_mates() {
+        let rs = reads(40, 100, 9);
+        let pairs: Vec<(FastqRecord, FastqRecord)> =
+            rs.chunks(2).map(|w| (w[0].clone(), w[1].clone())).collect();
+        let arc = SraArchive::encode_paired("SRRP", LibraryStrategy::RnaSeqBulk, &pairs).unwrap();
+        assert_eq!(arc.layout, LibraryLayout::Paired);
+        assert_eq!(arc.spots(), 20);
+        assert_eq!(arc.n_reads(), 40);
+        let back = arc.decode_all_pairs().unwrap();
+        for ((o1, o2), (d1, d2)) in pairs.iter().zip(&back) {
+            assert_eq!(o1.seq, d1.seq);
+            assert_eq!(o2.seq, d2.seq);
+        }
+        assert!(back[0].0.id.ends_with(".1/1"));
+        assert!(back[0].1.id.ends_with(".1/2"));
+        // decode_pair on single-end errors.
+        let single = SraArchive::encode("S", LibraryStrategy::RnaSeqBulk, &rs).unwrap();
+        assert!(single.decode_pair(0).is_err());
+        // Round trip through bytes keeps layout.
+        let again = SraArchive::from_bytes(arc.bytes()).unwrap();
+        assert_eq!(again.layout, LibraryLayout::Paired);
+        assert_eq!(again.spots(), 20);
+    }
+
+    #[test]
+    fn size_matches_meta_formula() {
+        use crate::accession::AccessionMeta;
+        let rs = reads(100, 100, 4);
+        let arc = SraArchive::encode("SRRZ", LibraryStrategy::RnaSeqBulk, &rs).unwrap();
+        let meta = AccessionMeta {
+            id: "SRRZ".into(),
+            strategy: LibraryStrategy::RnaSeqBulk,
+            spots: 100,
+            read_len: 100,
+            layout: LibraryLayout::Single,
+            tissue: "x".into(),
+        };
+        // Meta formula excludes the variable-length id; allow that slack.
+        let diff = arc.size_bytes() as i64 - meta.sra_size_bytes() as i64;
+        assert!(diff.unsigned_abs() <= 16, "diff {diff}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the SRA simulation layer.
+
+use std::fmt;
+
+/// Errors from archive decoding, repository lookups, or tool models.
+#[derive(Debug)]
+pub enum SraError {
+    /// The archive blob is corrupt or truncated.
+    CorruptArchive(String),
+    /// An accession id is not in the catalog.
+    UnknownAccession(String),
+    /// Parameters given to a generator/model were inconsistent.
+    InvalidParams(String),
+    /// An underlying genomics-layer error.
+    Genomics(genomics::GenomicsError),
+}
+
+impl fmt::Display for SraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SraError::CorruptArchive(m) => write!(f, "corrupt archive: {m}"),
+            SraError::UnknownAccession(id) => write!(f, "unknown accession: {id}"),
+            SraError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            SraError::Genomics(e) => write!(f, "genomics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SraError::Genomics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<genomics::GenomicsError> for SraError {
+    fn from(e: genomics::GenomicsError) -> Self {
+        SraError::Genomics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_accession() {
+        let e = SraError::UnknownAccession("SRR999".into());
+        assert!(e.to_string().contains("SRR999"));
+    }
+}

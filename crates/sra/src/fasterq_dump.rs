@@ -1,0 +1,196 @@
+//! `fasterq-dump` tool model — pipeline step 2.
+//!
+//! Converts an SRA-lite archive to FASTQ records. The decode itself is real (and
+//! rayon-parallel, like the multi-threaded real tool); the modeled duration charges
+//! the *output* volume against a per-thread throughput, matching the real tool's
+//! I/O-bound behaviour where FASTQ text dominates.
+
+use crate::accession::LibraryLayout;
+use crate::archive::SraArchive;
+use crate::SraError;
+use genomics::FastqRecord;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Conversion throughput model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DumpModel {
+    /// FASTQ bytes produced per second per thread.
+    pub bytes_per_sec_per_thread: f64,
+    /// Threads the tool runs with (`-e` flag).
+    pub threads: usize,
+}
+
+impl Default for DumpModel {
+    /// ~80 MB/s/thread with 4 threads, the ballpark of fasterq-dump on gp3 EBS.
+    fn default() -> Self {
+        DumpModel { bytes_per_sec_per_thread: 80e6, threads: 4 }
+    }
+}
+
+/// Result of a dump: the reads plus accounting.
+#[derive(Clone, Debug)]
+pub struct FasterqOutput {
+    /// Decoded reads in archive order (for paired archives: mates interleaved —
+    /// use [`FasterqOutput::pairs`] for the `--split-files` view).
+    pub reads: Vec<FastqRecord>,
+    /// Archive layout.
+    pub layout: LibraryLayout,
+    /// FASTQ text bytes that would be written.
+    pub fastq_bytes: u64,
+    /// Modeled conversion time in seconds.
+    pub modeled_secs: f64,
+}
+
+impl FasterqOutput {
+    /// The `--split-files` view of a paired dump. `None` for single-end archives.
+    pub fn pairs(&self) -> Option<Vec<(FastqRecord, FastqRecord)>> {
+        if self.layout != LibraryLayout::Paired {
+            return None;
+        }
+        Some(self.reads.chunks(2).map(|w| (w[0].clone(), w[1].clone())).collect())
+    }
+
+    /// Number of spots dumped.
+    pub fn spots(&self) -> u64 {
+        match self.layout {
+            LibraryLayout::Single => self.reads.len() as u64,
+            LibraryLayout::Paired => self.reads.len() as u64 / 2,
+        }
+    }
+}
+
+/// The `fasterq-dump` tool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FasterqDump {
+    /// Throughput model used for time accounting.
+    pub model: DumpModel,
+}
+
+impl FasterqDump {
+    /// Create with a given throughput model.
+    pub fn new(model: DumpModel) -> FasterqDump {
+        FasterqDump { model }
+    }
+
+    /// Convert `archive` to FASTQ records.
+    pub fn run(&self, archive: &SraArchive) -> Result<FasterqOutput, SraError> {
+        assert!(self.model.threads > 0, "dump threads must be positive");
+        let n_reads = archive.n_reads();
+        // Parallel decode in chunks (archive records are fixed-size, so indexes are
+        // independent).
+        let reads: Vec<FastqRecord> = (0..n_reads)
+            .into_par_iter()
+            .map(|i| archive.decode_read(i))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fastq_bytes: u64 = reads
+            .iter()
+            .map(|r| r.id.len() as u64 + 1 + r.seq.len() as u64 + 1 + 2 + r.qual.len() as u64 + 1)
+            .sum();
+        let rate = self.model.bytes_per_sec_per_thread * self.model.threads as f64;
+        Ok(FasterqOutput {
+            reads,
+            layout: archive.layout,
+            fastq_bytes,
+            modeled_secs: fastq_bytes as f64 / rate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accession::LibraryStrategy;
+    use genomics::DnaSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn archive(n: usize) -> SraArchive {
+        let mut rng = StdRng::seed_from_u64(8);
+        let reads: Vec<FastqRecord> = (0..n)
+            .map(|i| {
+                FastqRecord::with_uniform_quality(
+                    format!("SRRD.{}", i + 1),
+                    DnaSeq::random(&mut rng, 100),
+                    35,
+                )
+            })
+            .collect();
+        SraArchive::encode("SRRD", LibraryStrategy::RnaSeqBulk, &reads).unwrap()
+    }
+
+    #[test]
+    fn dump_recovers_all_reads_in_order() {
+        let arc = archive(500);
+        let out = FasterqDump::default().run(&arc).unwrap();
+        assert_eq!(out.reads.len(), 500);
+        assert_eq!(out.reads[0].id, "SRRD.1");
+        assert_eq!(out.reads[499].id, "SRRD.500");
+        assert_eq!(out.reads, arc.decode_all().unwrap());
+    }
+
+    #[test]
+    fn fastq_expansion_versus_archive() {
+        let arc = archive(200);
+        let out = FasterqDump::default().run(&arc).unwrap();
+        // FASTQ text re-expands well beyond the packed archive.
+        assert!(out.fastq_bytes > 5 * arc.size_bytes(), "{} vs {}", out.fastq_bytes, arc.size_bytes());
+    }
+
+    #[test]
+    fn modeled_time_scales_with_threads() {
+        let arc = archive(300);
+        let t1 = FasterqDump::new(DumpModel { bytes_per_sec_per_thread: 1e6, threads: 1 })
+            .run(&arc)
+            .unwrap()
+            .modeled_secs;
+        let t4 = FasterqDump::new(DumpModel { bytes_per_sec_per_thread: 1e6, threads: 4 })
+            .run(&arc)
+            .unwrap()
+            .modeled_secs;
+        assert!((t1 / t4 - 4.0).abs() < 1e-9, "t1={t1} t4={t4}");
+    }
+
+    fn raw_reads(n: usize, seed: u64) -> Vec<FastqRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                FastqRecord::with_uniform_quality(
+                    format!("SRRD.{}", i + 1),
+                    DnaSeq::random(&mut rng, 100),
+                    35,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paired_dump_exposes_split_files_view() {
+        let rs = raw_reads(20, 12);
+        let pairs: Vec<(FastqRecord, FastqRecord)> =
+            rs.chunks(2).map(|w| (w[0].clone(), w[1].clone())).collect();
+        let arc =
+            SraArchive::encode_paired("SRRD", LibraryStrategy::RnaSeqBulk, &pairs).unwrap();
+        let out = FasterqDump::default().run(&arc).unwrap();
+        assert_eq!(out.layout, LibraryLayout::Paired);
+        assert_eq!(out.spots(), 10);
+        let split = out.pairs().unwrap();
+        assert_eq!(split.len(), 10);
+        for ((o1, o2), (d1, d2)) in pairs.iter().zip(&split) {
+            assert_eq!(o1.seq, d1.seq);
+            assert_eq!(o2.seq, d2.seq);
+        }
+        // Single-end dumps have no pairs view.
+        let single = SraArchive::encode("S", LibraryStrategy::RnaSeqBulk, &rs).unwrap();
+        assert!(FasterqDump::default().run(&single).unwrap().pairs().is_none());
+    }
+
+    #[test]
+    fn empty_archive_dumps_empty() {
+        let arc = SraArchive::encode("E", LibraryStrategy::RnaSeqBulk, &[]).unwrap();
+        let out = FasterqDump::default().run(&arc).unwrap();
+        assert!(out.reads.is_empty());
+        assert_eq!(out.fastq_bytes, 0);
+        assert_eq!(out.modeled_secs, 0.0);
+    }
+}

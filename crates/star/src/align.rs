@@ -1,0 +1,448 @@
+//! Per-read alignment driver.
+//!
+//! [`Aligner::align_seq`] runs the full STAR-style pipeline for one read: seed both
+//! orientations, window/stitch, extend every candidate chain, then apply STAR's
+//! output filters (`--outFilterMatchNminOverLread`, `--outFilterMismatchNoverLmax`,
+//! `--outFilterMultimapNmax`) and classify the read as uniquely mapped, multimapped,
+//! mapped-to-too-many-loci, or unmapped.
+
+use crate::extend::{extend_chain, WindowAlignment};
+use crate::index::StarIndex;
+use crate::params::AlignParams;
+use crate::seed::collect_seeds;
+use crate::sjdb::SpliceClass;
+use crate::stitch::best_chains;
+use genomics::{DnaSeq, FastqRecord};
+use std::fmt;
+
+/// CIGAR-lite operation (substitution-only model: no I/D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CigarOp {
+    /// Aligned bases (matches + substitutions).
+    M(u32),
+    /// Intron skip.
+    N(u32),
+    /// Soft clip.
+    S(u32),
+}
+
+impl fmt::Display for CigarOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CigarOp::M(n) => write!(f, "{n}M"),
+            CigarOp::N(n) => write!(f, "{n}N"),
+            CigarOp::S(n) => write!(f, "{n}S"),
+        }
+    }
+}
+
+/// Render a CIGAR vector as the usual compact string, e.g. `"5S45M400N50M"`.
+pub fn cigar_string(ops: &[CigarOp]) -> String {
+    ops.iter().map(|op| op.to_string()).collect()
+}
+
+/// Mapping classification, STAR `Log.final.out` vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapClass {
+    /// Exactly one best locus.
+    Unique,
+    /// 2..=`outFilterMultimapNmax` loci (payload: locus count).
+    Multi(u32),
+    /// More loci than `outFilterMultimapNmax` (payload: locus count).
+    TooMany(u32),
+    /// No alignment passed the filters.
+    Unmapped,
+}
+
+impl MapClass {
+    /// Does this read count as "mapped" in the `Log.progress.out` mapped-% statistic
+    /// (the quantity early stopping thresholds on)? Unique + multi do; too-many and
+    /// unmapped do not, matching STAR's progress accounting.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, MapClass::Unique | MapClass::Multi(_))
+    }
+}
+
+/// The primary alignment of a mapped read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignmentRecord {
+    /// Read identifier (empty when aligning a bare sequence).
+    pub read_id: String,
+    /// Contig name.
+    pub contig: String,
+    /// 0-based position on the contig of the first aligned base.
+    pub pos: u64,
+    /// True when the read aligned as its reverse complement.
+    pub reverse: bool,
+    /// CIGAR-lite operations.
+    pub cigar: Vec<CigarOp>,
+    /// Alignment score.
+    pub score: i32,
+    /// Mismatches in the aligned region.
+    pub mismatches: u32,
+    /// Number of loci the read mapped to (1 = unique).
+    pub n_hits: u32,
+    /// SAM-style mapping quality: 255 unique, 3 for 2 loci, 1 for 3–4, 0 beyond.
+    pub mapq: u8,
+    /// Splice junctions used, in contig-local coordinates with classification.
+    pub junctions: Vec<(u64, u64, SpliceClass)>,
+}
+
+/// Outcome of aligning one read.
+#[derive(Clone, Debug)]
+pub struct AlignOutcome {
+    /// Classification after filters.
+    pub class: MapClass,
+    /// The primary (best-scoring) alignment when mapped (also populated for
+    /// `TooMany`, mirroring STAR's optional reporting; `None` when unmapped).
+    pub primary: Option<AlignmentRecord>,
+    /// Candidate loci inspected before filtering — a *work* measure: this is the
+    /// quantity the release-108 index inflates (extension runs once per candidate).
+    pub candidates_examined: u32,
+}
+
+impl AlignOutcome {
+    /// True when the read counts as mapped for progress statistics.
+    pub fn is_mapped(&self) -> bool {
+        self.class.is_mapped()
+    }
+}
+
+/// STAR-style mapping quality from the locus count.
+fn mapq_for(n_hits: u32) -> u8 {
+    match n_hits {
+        1 => 255,
+        2 => 3,
+        3 | 4 => 1,
+        _ => 0,
+    }
+}
+
+/// The per-read aligner, borrowing an index.
+pub struct Aligner<'i> {
+    index: &'i StarIndex,
+    params: AlignParams,
+}
+
+impl<'i> Aligner<'i> {
+    /// Create an aligner. Panics if `params` are invalid (validate first if unsure).
+    pub fn new(index: &'i StarIndex, params: AlignParams) -> Aligner<'i> {
+        params.validate().expect("invalid alignment parameters");
+        Aligner { index, params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &AlignParams {
+        &self.params
+    }
+
+    /// The index in use.
+    pub fn index(&self) -> &'i StarIndex {
+        self.index
+    }
+
+    /// Align a FASTQ record (read id propagated into the record).
+    pub fn align_read(&self, read: &FastqRecord) -> AlignOutcome {
+        let mut out = self.align_seq(&read.seq);
+        if let Some(rec) = &mut out.primary {
+            rec.read_id = read.id.clone();
+        }
+        out
+    }
+
+    /// Enumerate deduplicated candidate window alignments for a read, both
+    /// orientations. Shared by single-end and paired-end alignment.
+    pub(crate) fn candidates(&self, seq: &DnaSeq) -> Vec<(bool, WindowAlignment)> {
+        let read_len = seq.len();
+        if read_len == 0 {
+            return Vec::new();
+        }
+        let genome = self.index.genome();
+        let mut candidates: Vec<(bool, WindowAlignment)> = Vec::new();
+        let rc = seq.reverse_complement();
+        for (is_rc, codes) in [(false, seq.codes()), (true, rc.codes())] {
+            let seeds = collect_seeds(self.index, codes, &self.params);
+            for chain in best_chains(&seeds, read_len, &self.params) {
+                // Chains must stay within one contig (stitching across the
+                // concatenation boundary is meaningless).
+                let span_len = chain.gend() - chain.gstart();
+                if !genome.fits_in_contig(chain.gstart(), span_len) {
+                    continue;
+                }
+                if let Some(wa) =
+                    extend_chain(&chain, codes, genome, self.index.sjdb(), &self.params)
+                {
+                    candidates.push((is_rc, wa));
+                }
+            }
+        }
+        // Dedupe identical loci (the same alignment can be reached via different
+        // chains), keeping the best score per (strand, gstart).
+        candidates.sort_by(|a, b| {
+            (a.0, a.1.gstart, std::cmp::Reverse(a.1.score)).cmp(&(b.0, b.1.gstart, std::cmp::Reverse(b.1.score)))
+        });
+        candidates.dedup_by(|a, b| a.0 == b.0 && a.1.gstart == b.1.gstart);
+        candidates
+    }
+
+    /// Build the public record for a candidate (contig-local coordinates).
+    pub(crate) fn record_for(&self, is_rc: bool, wa: &WindowAlignment, n_hits: u32) -> AlignmentRecord {
+        let genome = self.index.genome();
+        let (contig_idx, local) = genome.to_local(wa.gstart);
+        let span = &genome.spans()[contig_idx];
+        AlignmentRecord {
+            read_id: String::new(),
+            contig: span.name.clone(),
+            pos: local,
+            reverse: is_rc,
+            junctions: wa
+                .junctions
+                .iter()
+                .map(|&(s, e, c)| (s - span.start, e - span.start, c))
+                .collect(),
+            cigar: wa.cigar.clone(),
+            score: wa.score,
+            mismatches: wa.mismatches,
+            n_hits,
+            mapq: mapq_for(n_hits),
+        }
+    }
+
+    /// Does a candidate's best alignment pass the output filters?
+    pub(crate) fn passes_filters(&self, wa: &WindowAlignment, read_len: usize) -> bool {
+        let matched_frac = wa.matched() as f64 / read_len.max(1) as f64;
+        let mm_frac = wa.mismatches as f64 / read_len.max(1) as f64;
+        matched_frac >= self.params.min_matched_over_read_len
+            && mm_frac <= self.params.max_mismatch_over_read_len
+    }
+
+    /// Align a bare sequence.
+    pub fn align_seq(&self, seq: &DnaSeq) -> AlignOutcome {
+        let read_len = seq.len();
+        if read_len == 0 {
+            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined: 0 };
+        }
+        let candidates = self.candidates(seq);
+        let candidates_examined = candidates.len() as u32;
+        if candidates.is_empty() {
+            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined };
+        }
+
+        let best_score = candidates.iter().map(|(_, wa)| wa.score).max().expect("non-empty");
+        let (best_rc, best_wa) = candidates
+            .iter()
+            .find(|(_, wa)| wa.score == best_score)
+            .cloned()
+            .expect("best exists");
+
+        // Output filters (on the best alignment, like STAR).
+        if !self.passes_filters(&best_wa, read_len) {
+            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined };
+        }
+
+        let n_hits = candidates
+            .iter()
+            .filter(|(_, wa)| wa.score + self.params.multimap_score_range >= best_score)
+            .count() as u32;
+        let class = if n_hits == 1 {
+            MapClass::Unique
+        } else if n_hits as usize <= self.params.out_filter_multimap_nmax {
+            MapClass::Multi(n_hits)
+        } else {
+            MapClass::TooMany(n_hits)
+        };
+
+        let record = self.record_for(best_rc, &best_wa, n_hits);
+        AlignOutcome { class, primary: Some(record), candidates_examined }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexParams;
+    use genomics::annotation::{Annotation, Exon, Gene, Strand};
+    use genomics::{Assembly, AssemblyKind, Contig, ContigKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_seq(seed: u64, len: usize) -> DnaSeq {
+        DnaSeq::random(&mut StdRng::seed_from_u64(seed), len)
+    }
+
+    fn build_index(contigs: Vec<(&str, DnaSeq)>, ann: Annotation) -> StarIndex {
+        let asm = Assembly {
+            name: "T".into(),
+            release: 1,
+            kind: AssemblyKind::Toplevel,
+            contigs: contigs
+                .into_iter()
+                .map(|(n, seq)| Contig { name: n.into(), kind: ContigKind::Chromosome, seq })
+                .collect(),
+        };
+        StarIndex::build(&asm, &ann, &IndexParams::default()).unwrap()
+    }
+
+    #[test]
+    fn unique_forward_read_maps_uniquely() {
+        let chr = random_seq(1, 3000);
+        let idx = build_index(vec![("1", chr.clone())], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let out = aligner.align_seq(&chr.subseq(1200, 1300));
+        assert_eq!(out.class, MapClass::Unique);
+        let rec = out.primary.unwrap();
+        assert_eq!(rec.contig, "1");
+        assert_eq!(rec.pos, 1200);
+        assert!(!rec.reverse);
+        assert_eq!(rec.mapq, 255);
+        assert_eq!(cigar_string(&rec.cigar), "100M");
+    }
+
+    #[test]
+    fn reverse_complement_read_maps_with_reverse_flag() {
+        let chr = random_seq(2, 3000);
+        let idx = build_index(vec![("1", chr.clone())], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let out = aligner.align_seq(&chr.subseq(500, 600).reverse_complement());
+        assert_eq!(out.class, MapClass::Unique);
+        let rec = out.primary.unwrap();
+        assert_eq!(rec.pos, 500);
+        assert!(rec.reverse);
+    }
+
+    #[test]
+    fn duplicated_locus_classifies_as_multi() {
+        let chr = random_seq(3, 2000);
+        // Second contig duplicates a window of chromosome 1 (a "scaffold").
+        let dup = chr.subseq(800, 1400);
+        let idx = build_index(vec![("1", chr.clone()), ("KI1", dup)], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let out = aligner.align_seq(&chr.subseq(1000, 1100));
+        match out.class {
+            MapClass::Multi(n) => assert_eq!(n, 2),
+            other => panic!("expected Multi(2), got {other:?}"),
+        }
+        assert!(out.is_mapped());
+        let rec = out.primary.unwrap();
+        assert_eq!(rec.mapq, 3);
+    }
+
+    #[test]
+    fn too_many_loci_is_not_counted_mapped() {
+        let unit = random_seq(4, 300);
+        // 12 copies > default multimap cap of 10.
+        let mut contigs = Vec::new();
+        for i in 0..12 {
+            contigs.push((Box::leak(format!("c{i}").into_boxed_str()) as &str, unit.clone()));
+        }
+        let idx = build_index(contigs, Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let out = aligner.align_seq(&unit.subseq(100, 200));
+        match out.class {
+            MapClass::TooMany(n) => assert_eq!(n, 12),
+            other => panic!("expected TooMany, got {other:?}"),
+        }
+        assert!(!out.is_mapped());
+        assert_eq!(out.primary.as_ref().unwrap().mapq, 0);
+    }
+
+    #[test]
+    fn junk_read_is_unmapped() {
+        let chr = random_seq(5, 3000);
+        let idx = build_index(vec![("1", chr)], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        for junk in [
+            DnaSeq::from_codes(vec![0; 100]),          // poly-A
+            random_seq(999, 100),                      // random 100-mer, absent
+        ] {
+            let out = aligner.align_seq(&junk);
+            assert_eq!(out.class, MapClass::Unmapped, "junk {junk:?}");
+            assert!(out.primary.is_none());
+        }
+    }
+
+    #[test]
+    fn low_identity_read_fails_match_fraction_filter() {
+        let chr = random_seq(6, 3000);
+        let idx = build_index(vec![("1", chr.clone())], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        // 40 genomic bases + 60 random: matched fraction ~0.4 < 0.66.
+        let mut read = chr.subseq(100, 140);
+        read.extend_from(&random_seq(1234, 60));
+        let out = aligner.align_seq(&read);
+        assert_eq!(out.class, MapClass::Unmapped);
+    }
+
+    #[test]
+    fn spliced_read_reports_local_junction_coordinates() {
+        let chr = random_seq(7, 5000);
+        let gene = Gene {
+            id: "G".into(),
+            contig: "1".into(),
+            strand: Strand::Forward,
+            exons: vec![Exon { start: 2000, end: 2100 }, Exon { start: 2600, end: 2700 }],
+        };
+        let idx = build_index(vec![("1", chr.clone())], Annotation { genes: vec![gene] });
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let mut read = chr.subseq(2050, 2100);
+        read.extend_from(&chr.subseq(2600, 2650));
+        let out = aligner.align_seq(&read);
+        assert_eq!(out.class, MapClass::Unique);
+        let rec = out.primary.unwrap();
+        assert_eq!(rec.pos, 2050);
+        assert_eq!(rec.junctions, vec![(2100, 2600, SpliceClass::Annotated)]);
+        assert_eq!(cigar_string(&rec.cigar), "50M500N50M");
+    }
+
+    #[test]
+    fn align_read_propagates_id() {
+        let chr = random_seq(8, 2000);
+        let idx = build_index(vec![("1", chr.clone())], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let fq = FastqRecord::with_uniform_quality("SRR1.7".into(), chr.subseq(0, 100), 35);
+        let out = aligner.align_read(&fq);
+        assert_eq!(out.primary.unwrap().read_id, "SRR1.7");
+    }
+
+    #[test]
+    fn empty_read_is_unmapped() {
+        let chr = random_seq(9, 1000);
+        let idx = build_index(vec![("1", chr)], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let out = aligner.align_seq(&DnaSeq::new());
+        assert_eq!(out.class, MapClass::Unmapped);
+        assert_eq!(out.candidates_examined, 0);
+    }
+
+    #[test]
+    fn candidates_examined_grows_with_duplication() {
+        let chr = random_seq(10, 2000);
+        let dup1 = chr.subseq(500, 1500);
+        let dup2 = chr.subseq(500, 1500);
+        let idx_plain = build_index(vec![("1", chr.clone())], Annotation::default());
+        let idx_dup = build_index(
+            vec![("1", chr.clone()), ("KI1", dup1), ("KI2", dup2)],
+            Annotation::default(),
+        );
+        let read = chr.subseq(900, 1000);
+        let a1 = Aligner::new(&idx_plain, AlignParams::default());
+        let a2 = Aligner::new(&idx_dup, AlignParams::default());
+        let c1 = a1.align_seq(&read).candidates_examined;
+        let c2 = a2.align_seq(&read).candidates_examined;
+        assert!(c2 > c1, "duplication must inflate candidate work: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn mapq_ladder() {
+        assert_eq!(mapq_for(1), 255);
+        assert_eq!(mapq_for(2), 3);
+        assert_eq!(mapq_for(3), 1);
+        assert_eq!(mapq_for(4), 1);
+        assert_eq!(mapq_for(5), 0);
+    }
+
+    #[test]
+    fn cigar_string_renders_compactly() {
+        assert_eq!(cigar_string(&[CigarOp::S(5), CigarOp::M(45), CigarOp::N(400), CigarOp::M(50)]), "5S45M400N50M");
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for index construction and alignment runs.
+
+use std::fmt;
+
+/// Errors from index building, (de)serialization, or run configuration.
+#[derive(Debug)]
+pub enum StarError {
+    /// The assembly/annotation given to the index builder is unusable.
+    InvalidInput(String),
+    /// Alignment/run parameters are inconsistent.
+    InvalidParams(String),
+    /// A serialized index blob is corrupt or from an incompatible version.
+    CorruptIndex(String),
+    /// An underlying genomics-layer error.
+    Genomics(genomics::GenomicsError),
+    /// An I/O error while reading/writing an index.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StarError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            StarError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            StarError::CorruptIndex(m) => write!(f, "corrupt index: {m}"),
+            StarError::Genomics(e) => write!(f, "genomics error: {e}"),
+            StarError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StarError::Genomics(e) => Some(e),
+            StarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<genomics::GenomicsError> for StarError {
+    fn from(e: genomics::GenomicsError) -> Self {
+        StarError::Genomics(e)
+    }
+}
+
+impl From<std::io::Error> for StarError {
+    fn from(e: std::io::Error) -> Self {
+        StarError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StarError::CorruptIndex("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: StarError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,456 @@
+//! Chain extension and scoring: turn a seed chain into a full-read alignment.
+//!
+//! Three steps, matching STAR's extension stage under our substitution-only model:
+//!
+//! 1. **Gap filling** between consecutive seeds — equal read/genome gaps become
+//!    mismatch runs; larger genome gaps become introns, with the splice point placed
+//!    at the split of the read gap that minimizes mismatches, then classified
+//!    (annotated / canonical GT-AG / non-canonical) for its score penalty.
+//! 2. **End extension** — outward from the first/last seed, keeping the extension
+//!    prefix that maximizes local score (match +1, mismatch −penalty); the rest is
+//!    soft-clipped.
+//! 3. **Scoring** — matched bases minus mismatch and splice penalties.
+
+use crate::align::CigarOp;
+use crate::genome::PackedGenome;
+use crate::params::AlignParams;
+use crate::sjdb::{SpliceClass, SpliceJunctionDb};
+use crate::stitch::Chain;
+
+/// A scored candidate alignment within one genomic window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowAlignment {
+    /// Global genome position where the aligned (non-clipped) region starts.
+    pub gstart: u64,
+    /// CIGAR-lite operations covering the whole read (S/M/N).
+    pub cigar: Vec<CigarOp>,
+    /// Alignment score (match +1, mismatch −p, splice penalties).
+    pub score: i32,
+    /// Read bases aligned to the genome (M bases).
+    pub aligned: u32,
+    /// Mismatches among the aligned bases.
+    pub mismatches: u32,
+    /// Introns used: (intron_start, intron_end, class) in global coordinates.
+    pub junctions: Vec<(u64, u64, SpliceClass)>,
+}
+
+impl WindowAlignment {
+    /// Read bases matching the genome exactly.
+    pub fn matched(&self) -> u32 {
+        self.aligned - self.mismatches
+    }
+
+    /// Soft-clipped bases (left + right).
+    pub fn clipped(&self) -> u32 {
+        self.cigar
+            .iter()
+            .filter_map(|op| if let CigarOp::S(n) = op { Some(*n) } else { None })
+            .sum()
+    }
+}
+
+/// Extend `chain` over `read_codes`, producing the scored alignment.
+///
+/// Returns `None` for chains that violate the substitution-only invariants (callers
+/// filter these; they can only arise from pathological seed sets).
+pub fn extend_chain(
+    chain: &Chain,
+    read_codes: &[u8],
+    genome: &PackedGenome,
+    sjdb: &SpliceJunctionDb,
+    params: &AlignParams,
+) -> Option<WindowAlignment> {
+    let seeds = &chain.seeds;
+    if seeds.is_empty() {
+        return None;
+    }
+    let codes = genome.codes();
+    let read_len = read_codes.len();
+
+    let mut cigar: Vec<CigarOp> = Vec::new();
+    let mut aligned = 0u32;
+    let mut mismatches = 0u32;
+    let mut junctions = Vec::new();
+    let mut splice_penalty = 0i32;
+
+    // --- Left end extension ---------------------------------------------------
+    let first = &seeds[0];
+    let left_room = (first.gpos as usize).min(first.read_pos as usize);
+    // Walk outward while in the same contig; keep the score-maximal prefix.
+    let contig_start = genome.contig_of(first.gpos).start;
+    let left_room = left_room.min((first.gpos - contig_start) as usize);
+    let mut best_ext = 0usize;
+    {
+        let mut score = 0i32;
+        let mut best_score = 0i32;
+        let mut mm_at = Vec::new();
+        for i in 1..=left_room {
+            let r = read_codes[first.read_pos as usize - i];
+            let g = codes[first.gpos as usize - i];
+            if r == g {
+                score += 1;
+            } else {
+                score -= params.mismatch_penalty;
+                mm_at.push(i);
+            }
+            if score > best_score {
+                best_score = score;
+                best_ext = i;
+            }
+        }
+        mismatches += mm_at.iter().filter(|&&i| i <= best_ext).count() as u32;
+    }
+    let gstart = first.gpos - best_ext as u64;
+    let left_clip = first.read_pos as usize - best_ext;
+    if left_clip > 0 {
+        cigar.push(CigarOp::S(left_clip as u32));
+    }
+    let mut m_run = best_ext as u32; // accumulates into M ops
+    aligned += best_ext as u32;
+
+    // --- Seeds and inner gaps ---------------------------------------------------
+    m_run += first.len;
+    aligned += first.len;
+    for w in seeds.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let read_gap = (b.read_pos - a.read_end()) as usize;
+        let genome_gap = (b.gpos - a.gend()) as usize;
+        if genome_gap < read_gap {
+            return None; // would need an insertion; not representable
+        }
+        if genome_gap == read_gap {
+            // Mismatch run: compare base by base.
+            for i in 0..read_gap {
+                let r = read_codes[a.read_end() as usize + i];
+                let g = codes[a.gend() as usize + i];
+                if r != g {
+                    mismatches += 1;
+                }
+            }
+            aligned += read_gap as u32;
+            m_run += read_gap as u32;
+        } else {
+            // Intron: place the splice at the read-gap split minimizing mismatches;
+            // ties resolve toward annotated, then canonical junctions (STAR's
+            // sjdb-guided splice placement — boundary bases repeated on both sides
+            // of an intron otherwise make the junction position ambiguous).
+            let intron_len = genome_gap - read_gap;
+            if intron_len as u64 > params.max_intron_len {
+                return None;
+            }
+            let (split, mm, class) =
+                best_split(read_codes, codes, genome, sjdb, a, b, read_gap, intron_len);
+            mismatches += mm;
+            aligned += read_gap as u32;
+            m_run += split as u32;
+            let intron_start = a.gend() + split as u64;
+            let intron_end = intron_start + intron_len as u64;
+            splice_penalty += match class {
+                SpliceClass::Annotated => params.annotated_splice_penalty,
+                SpliceClass::Canonical => params.canonical_splice_penalty,
+                SpliceClass::NonCanonical => params.noncanonical_splice_penalty,
+            };
+            junctions.push((intron_start, intron_end, class));
+            cigar.push(CigarOp::M(m_run));
+            cigar.push(CigarOp::N(intron_len as u32));
+            m_run = (read_gap - split) as u32;
+        }
+        m_run += b.len;
+        aligned += b.len;
+    }
+
+    // --- Right end extension ------------------------------------------------------
+    let last = seeds.last().expect("non-empty");
+    let contig_end = genome.contig_of(last.gend().saturating_sub(1).max(last.gpos)).end();
+    let right_room = (read_len - last.read_end() as usize)
+        .min((contig_end - last.gend()) as usize)
+        .min(codes.len() - last.gend() as usize);
+    let mut best_ext_r = 0usize;
+    {
+        let mut score = 0i32;
+        let mut best_score = 0i32;
+        let mut mm_at = Vec::new();
+        for i in 0..right_room {
+            let r = read_codes[last.read_end() as usize + i];
+            let g = codes[last.gend() as usize + i];
+            if r == g {
+                score += 1;
+            } else {
+                score -= params.mismatch_penalty;
+                mm_at.push(i + 1);
+            }
+            if score > best_score {
+                best_score = score;
+                best_ext_r = i + 1;
+            }
+        }
+        mismatches += mm_at.iter().filter(|&&i| i <= best_ext_r).count() as u32;
+    }
+    m_run += best_ext_r as u32;
+    aligned += best_ext_r as u32;
+    if m_run > 0 {
+        cigar.push(CigarOp::M(m_run));
+    }
+    let right_clip = read_len - last.read_end() as usize - best_ext_r;
+    if right_clip > 0 {
+        cigar.push(CigarOp::S(right_clip as u32));
+    }
+
+    let matched = aligned - mismatches;
+    let score = matched as i32 - (mismatches as i32) * params.mismatch_penalty - splice_penalty;
+    Some(WindowAlignment { gstart, cigar, score, aligned, mismatches, junctions })
+}
+
+/// Choose where to split the `read_gap` bases around an intron between seeds `a` and
+/// `b`: `split` bases align after `a`, the rest before `b`. Minimizes mismatches;
+/// ties resolve toward the split whose junction is annotated, then canonical —
+/// mirroring STAR's sjdb-guided splice placement. Returns (split, mismatches,
+/// junction class).
+#[allow(clippy::too_many_arguments)]
+fn best_split(
+    read_codes: &[u8],
+    codes: &[u8],
+    genome: &PackedGenome,
+    sjdb: &SpliceJunctionDb,
+    a: &crate::seed::Seed,
+    b: &crate::seed::Seed,
+    read_gap: usize,
+    intron_len: usize,
+) -> (usize, u32, SpliceClass) {
+    let class_rank = |c: SpliceClass| match c {
+        SpliceClass::Annotated => 0u8,
+        SpliceClass::Canonical => 1,
+        SpliceClass::NonCanonical => 2,
+    };
+    let mut best: Option<(usize, u32, SpliceClass)> = None;
+    for split in 0..=read_gap {
+        let mut mm = 0u32;
+        // Left part: after seed a.
+        for i in 0..split {
+            if read_codes[a.read_end() as usize + i] != codes[a.gend() as usize + i] {
+                mm += 1;
+            }
+        }
+        // Right part: immediately before seed b.
+        for i in 0..read_gap - split {
+            let r = read_codes[b.read_pos as usize - 1 - i];
+            let g = codes[b.gpos as usize - 1 - i];
+            if r != g {
+                mm += 1;
+            }
+        }
+        let intron_start = a.gend() + split as u64;
+        let class = sjdb.classify(genome, intron_start, intron_start + intron_len as u64);
+        let better = match best {
+            None => true,
+            Some((_, best_mm, best_class)) => {
+                (mm, class_rank(class)) < (best_mm, class_rank(best_class))
+            }
+        };
+        if better {
+            best = Some((split, mm, class));
+        }
+    }
+    best.expect("split 0 always evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexParams, StarIndex};
+    use crate::seed::collect_seeds;
+    use crate::stitch::best_chains;
+    use genomics::annotation::{Annotation, Exon, Gene, Strand};
+    use genomics::{Assembly, AssemblyKind, Contig, ContigKind, DnaSeq};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn index_of(text: &str, ann: Annotation) -> StarIndex {
+        let asm = Assembly {
+            name: "T".into(),
+            release: 1,
+            kind: AssemblyKind::Toplevel,
+            contigs: vec![Contig {
+                name: "1".into(),
+                kind: ContigKind::Chromosome,
+                seq: text.parse::<DnaSeq>().unwrap(),
+            }],
+        };
+        StarIndex::build(&asm, &ann, &IndexParams::default()).unwrap()
+    }
+
+    fn align_one(idx: &StarIndex, read: &DnaSeq, params: &AlignParams) -> WindowAlignment {
+        let seeds = collect_seeds(idx, read.codes(), params);
+        let chains = best_chains(&seeds, read.len(), params);
+        chains
+            .iter()
+            .filter_map(|c| extend_chain(c, read.codes(), idx.genome(), idx.sjdb(), params))
+            .max_by_key(|wa| wa.score)
+            .expect("alignment exists")
+    }
+
+    fn random_text(seed: u64, len: usize) -> String {
+        DnaSeq::random(&mut StdRng::seed_from_u64(seed), len).to_string()
+    }
+
+    #[test]
+    fn perfect_read_scores_full_length() {
+        let text = random_text(1, 2000);
+        let idx = index_of(&text, Annotation::default());
+        let read: DnaSeq = text[700..800].parse().unwrap();
+        let wa = align_one(&idx, &read, &AlignParams::default());
+        assert_eq!(wa.gstart, 700);
+        assert_eq!(wa.score, 100);
+        assert_eq!(wa.aligned, 100);
+        assert_eq!(wa.mismatches, 0);
+        assert_eq!(wa.cigar, vec![CigarOp::M(100)]);
+        assert!(wa.junctions.is_empty());
+    }
+
+    #[test]
+    fn inner_mismatch_is_bridged_and_counted() {
+        let text = random_text(2, 2000);
+        let idx = index_of(&text, Annotation::default());
+        let mut codes: Vec<u8> = text[700..800].parse::<DnaSeq>().unwrap().codes().to_vec();
+        codes[40] = (codes[40] + 2) % 4;
+        let read = DnaSeq::from_codes(codes);
+        let wa = align_one(&idx, &read, &AlignParams::default());
+        assert_eq!(wa.gstart, 700);
+        assert_eq!(wa.aligned, 100);
+        assert_eq!(wa.mismatches, 1);
+        assert_eq!(wa.score, 99 - 1);
+        assert_eq!(wa.cigar, vec![CigarOp::M(100)]);
+    }
+
+    #[test]
+    fn end_mismatches_extend_not_clip_when_profitable() {
+        let text = random_text(3, 2000);
+        let idx = index_of(&text, Annotation::default());
+        let mut codes: Vec<u8> = text[700..800].parse::<DnaSeq>().unwrap().codes().to_vec();
+        // Mismatch near the right end but with a matching tail after it: extension
+        // through the mismatch is profitable.
+        codes[95] = (codes[95] + 1) % 4;
+        let read = DnaSeq::from_codes(codes);
+        let wa = align_one(&idx, &read, &AlignParams::default());
+        assert_eq!(wa.aligned, 100, "should extend through the single mismatch");
+        assert_eq!(wa.mismatches, 1);
+    }
+
+    #[test]
+    fn divergent_tail_is_soft_clipped() {
+        let text = random_text(4, 2000);
+        let idx = index_of(&text, Annotation::default());
+        // 80 genomic bases + 20 divergent bases.
+        let tail = random_text(999, 20);
+        let read: DnaSeq = format!("{}{}", &text[700..780], tail).parse().unwrap();
+        let wa = align_one(&idx, &read, &AlignParams::default());
+        assert!(wa.clipped() >= 15, "divergent tail should clip, cigar {:?}", wa.cigar);
+        assert!(wa.aligned >= 80);
+        assert!(matches!(wa.cigar.last(), Some(CigarOp::S(_))));
+    }
+
+    #[test]
+    fn spliced_read_gets_n_op_and_annotated_class() {
+        let text = random_text(5, 4000);
+        // Gene with intron [1000, 1400).
+        let gene = Gene {
+            id: "G".into(),
+            contig: "1".into(),
+            strand: Strand::Forward,
+            exons: vec![Exon { start: 900, end: 1000 }, Exon { start: 1400, end: 1500 }],
+        };
+        let ann = Annotation { genes: vec![gene.clone()] };
+        let idx = index_of(&text, ann);
+        // Read spanning the junction: 50 bases of exon1 end + 50 of exon2 start.
+        let read: DnaSeq =
+            format!("{}{}", &text[950..1000], &text[1400..1450]).parse().unwrap();
+        let wa = align_one(&idx, &read, &AlignParams::default());
+        assert_eq!(wa.gstart, 950);
+        assert_eq!(wa.aligned, 100);
+        assert_eq!(wa.mismatches, 0);
+        assert_eq!(wa.cigar, vec![CigarOp::M(50), CigarOp::N(400), CigarOp::M(50)]);
+        assert_eq!(wa.junctions.len(), 1);
+        assert_eq!(wa.junctions[0].0, 1000);
+        assert_eq!(wa.junctions[0].1, 1400);
+        assert_eq!(wa.junctions[0].2, SpliceClass::Annotated);
+        // Annotated junction: no penalty.
+        assert_eq!(wa.score, 100);
+    }
+
+    #[test]
+    fn novel_noncanonical_junction_pays_penalty() {
+        let text = random_text(6, 4000);
+        let idx = index_of(&text, Annotation::default());
+        let read: DnaSeq =
+            format!("{}{}", &text[950..1000], &text[1400..1450]).parse().unwrap();
+        let params = AlignParams::default();
+        let wa = align_one(&idx, &read, &params);
+        assert_eq!(wa.junctions.len(), 1);
+        // Random genome: junction motif is almost surely non-canonical here.
+        let expected_penalty = match wa.junctions[0].2 {
+            SpliceClass::NonCanonical => params.noncanonical_splice_penalty,
+            SpliceClass::Canonical => params.canonical_splice_penalty,
+            SpliceClass::Annotated => 0,
+        };
+        assert_eq!(wa.score, 100 - expected_penalty);
+    }
+
+    #[test]
+    fn mismatch_at_splice_gap_is_placed_optimally() {
+        let text = random_text(7, 4000);
+        let gene = Gene {
+            id: "G".into(),
+            contig: "1".into(),
+            strand: Strand::Forward,
+            exons: vec![Exon { start: 900, end: 1000 }, Exon { start: 1400, end: 1500 }],
+        };
+        let idx = index_of(&text, Annotation { genes: vec![gene] });
+        // Junction-spanning read with a mismatch exactly at the last exon1 base.
+        let mut codes: Vec<u8> =
+            format!("{}{}", &text[950..1000], &text[1400..1450]).parse::<DnaSeq>().unwrap().codes().to_vec();
+        codes[49] = (codes[49] + 1) % 4;
+        let read = DnaSeq::from_codes(codes);
+        let wa = align_one(&idx, &read, &AlignParams::default());
+        assert_eq!(wa.aligned, 100);
+        assert_eq!(wa.mismatches, 1);
+        assert_eq!(wa.junctions.len(), 1);
+    }
+
+    #[test]
+    fn extension_respects_contig_start_boundary() {
+        // Read hangs off the left edge of the contig: must clip, not underflow.
+        let text = random_text(8, 1000);
+        let idx = index_of(&text, Annotation::default());
+        let read: DnaSeq = format!("CCCCC{}", &text[0..95]).parse().unwrap();
+        let seeds = collect_seeds(&idx, read.codes(), &AlignParams::default());
+        let chains = best_chains(&seeds, read.len(), &AlignParams::default());
+        let wa = chains
+            .iter()
+            .filter_map(|c| {
+                extend_chain(c, read.codes(), idx.genome(), idx.sjdb(), &AlignParams::default())
+            })
+            .max_by_key(|w| w.score)
+            .unwrap();
+        assert_eq!(wa.gstart, 0);
+        assert!(matches!(wa.cigar.first(), Some(CigarOp::S(n)) if *n >= 5));
+    }
+
+    #[test]
+    fn cigar_spans_whole_read() {
+        let text = random_text(9, 2000);
+        let idx = index_of(&text, Annotation::default());
+        for read_src in [&text[100..200], &text[1900..2000]] {
+            let read: DnaSeq = read_src.parse().unwrap();
+            let wa = align_one(&idx, &read, &AlignParams::default());
+            let total: u32 = wa
+                .cigar
+                .iter()
+                .map(|op| match op {
+                    CigarOp::M(n) | CigarOp::S(n) => *n,
+                    CigarOp::N(_) => 0,
+                })
+                .sum();
+            assert_eq!(total, 100, "cigar {:?}", wa.cigar);
+        }
+    }
+}

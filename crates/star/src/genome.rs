@@ -1,0 +1,237 @@
+//! The packed, concatenated reference genome (STAR's `Genome` file analog).
+//!
+//! All contigs of an assembly are concatenated into one code array so the suffix array
+//! indexes a single coordinate space. Contig boundaries are kept in a span table;
+//! alignment candidates that would cross a boundary are rejected by
+//! [`PackedGenome::fits_in_contig`] (real STAR inserts padding spacers, same effect).
+
+use crate::StarError;
+use genomics::{Assembly, ContigKind};
+
+/// One contig's location within the concatenated genome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContigSpan {
+    /// Contig name, e.g. `"1"` or `"KI270302.1"`.
+    pub name: String,
+    /// Role in the assembly (chromosome vs scaffold) — kept for diagnostics.
+    pub kind: ContigKind,
+    /// Global start offset in the concatenated genome.
+    pub start: u64,
+    /// Length in bases.
+    pub len: u64,
+}
+
+impl ContigSpan {
+    /// Global end offset (exclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// The concatenated genome: byte-per-base 2-bit codes plus the contig span table.
+#[derive(Clone, Debug)]
+pub struct PackedGenome {
+    codes: Vec<u8>,
+    spans: Vec<ContigSpan>,
+}
+
+impl PackedGenome {
+    /// Concatenate all contigs of `assembly`. Fails on an empty assembly.
+    pub fn from_assembly(assembly: &Assembly) -> Result<PackedGenome, StarError> {
+        if assembly.contigs.is_empty() || assembly.total_len() == 0 {
+            return Err(StarError::InvalidInput("assembly has no sequence".into()));
+        }
+        let mut codes = Vec::with_capacity(assembly.total_len());
+        let mut spans = Vec::with_capacity(assembly.contigs.len());
+        for contig in &assembly.contigs {
+            spans.push(ContigSpan {
+                name: contig.name.clone(),
+                kind: contig.kind,
+                start: codes.len() as u64,
+                len: contig.len() as u64,
+            });
+            codes.extend_from_slice(contig.seq.codes());
+        }
+        Ok(PackedGenome { codes, spans })
+    }
+
+    /// Reassemble from raw parts (used by index deserialization).
+    pub(crate) fn from_parts(codes: Vec<u8>, spans: Vec<ContigSpan>) -> Result<PackedGenome, StarError> {
+        let total: u64 = spans.iter().map(|s| s.len).sum();
+        if total != codes.len() as u64 {
+            return Err(StarError::CorruptIndex(format!(
+                "span table covers {total} bases but genome has {}",
+                codes.len()
+            )));
+        }
+        let mut expect = 0u64;
+        for s in &spans {
+            if s.start != expect {
+                return Err(StarError::CorruptIndex(format!("span {} starts at {} != {expect}", s.name, s.start)));
+            }
+            expect = s.end();
+        }
+        Ok(PackedGenome { codes, spans })
+    }
+
+    /// Total genome length in bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the genome holds no sequence (never constructed; kept for API hygiene).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The 2-bit code at global position `pos`.
+    #[inline]
+    pub fn code(&self, pos: usize) -> u8 {
+        self.codes[pos]
+    }
+
+    /// The whole code array.
+    #[inline]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The contig span table, in genome order.
+    pub fn spans(&self) -> &[ContigSpan] {
+        &self.spans
+    }
+
+    /// Index of the contig containing global position `gpos`.
+    ///
+    /// Panics if `gpos` is out of range (positions always come from the suffix array).
+    pub fn contig_index_of(&self, gpos: u64) -> usize {
+        debug_assert!((gpos as usize) < self.codes.len(), "gpos out of range");
+        // partition_point: first span with start > gpos, minus one.
+        self.spans.partition_point(|s| s.start <= gpos) - 1
+    }
+
+    /// The contig span containing `gpos`.
+    pub fn contig_of(&self, gpos: u64) -> &ContigSpan {
+        &self.spans[self.contig_index_of(gpos)]
+    }
+
+    /// Convert a global position to `(contig_index, local_position)`.
+    pub fn to_local(&self, gpos: u64) -> (usize, u64) {
+        let idx = self.contig_index_of(gpos);
+        (idx, gpos - self.spans[idx].start)
+    }
+
+    /// True when `[gpos, gpos + len)` lies entirely within one contig.
+    #[inline]
+    pub fn fits_in_contig(&self, gpos: u64, len: u64) -> bool {
+        if (gpos + len) as usize > self.codes.len() {
+            return false;
+        }
+        let span = self.contig_of(gpos);
+        gpos + len <= span.end()
+    }
+
+    /// Look up a span by contig name.
+    pub fn span_by_name(&self, name: &str) -> Option<&ContigSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Bytes this genome occupies when 2-bit packed on disk/in memory (what STAR's
+    /// `Genome` file stores); used for index-size accounting.
+    pub fn packed_byte_size(&self) -> usize {
+        self.codes.len().div_ceil(4) + self.spans.iter().map(|s| s.name.len() + 24).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomics::{AssemblyKind, Contig};
+
+    fn asm() -> Assembly {
+        Assembly {
+            name: "T".into(),
+            release: 111,
+            kind: AssemblyKind::Toplevel,
+            contigs: vec![
+                Contig { name: "1".into(), kind: ContigKind::Chromosome, seq: "ACGTACGTAC".parse().unwrap() },
+                Contig { name: "2".into(), kind: ContigKind::Chromosome, seq: "GGGG".parse().unwrap() },
+                Contig {
+                    name: "KI1".into(),
+                    kind: ContigKind::UnplacedScaffold,
+                    seq: "TTTTTT".parse().unwrap(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn concatenation_preserves_order_and_length() {
+        let g = PackedGenome::from_assembly(&asm()).unwrap();
+        assert_eq!(g.len(), 20);
+        assert_eq!(g.spans().len(), 3);
+        assert_eq!(g.spans()[1].start, 10);
+        assert_eq!(g.spans()[2].start, 14);
+        // Base 10 is the first G of contig 2.
+        assert_eq!(g.code(10), genomics::Base::G.code());
+    }
+
+    #[test]
+    fn locate_positions_across_boundaries() {
+        let g = PackedGenome::from_assembly(&asm()).unwrap();
+        assert_eq!(g.to_local(0), (0, 0));
+        assert_eq!(g.to_local(9), (0, 9));
+        assert_eq!(g.to_local(10), (1, 0));
+        assert_eq!(g.to_local(13), (1, 3));
+        assert_eq!(g.to_local(14), (2, 0));
+        assert_eq!(g.to_local(19), (2, 5));
+        assert_eq!(g.contig_of(12).name, "2");
+    }
+
+    #[test]
+    fn fits_in_contig_rejects_boundary_crossings() {
+        let g = PackedGenome::from_assembly(&asm()).unwrap();
+        assert!(g.fits_in_contig(0, 10));
+        assert!(!g.fits_in_contig(0, 11));
+        assert!(g.fits_in_contig(10, 4));
+        assert!(!g.fits_in_contig(12, 3));
+        assert!(g.fits_in_contig(14, 6));
+        assert!(!g.fits_in_contig(14, 7), "beyond genome end");
+    }
+
+    #[test]
+    fn span_lookup_by_name() {
+        let g = PackedGenome::from_assembly(&asm()).unwrap();
+        assert_eq!(g.span_by_name("KI1").unwrap().len, 6);
+        assert!(g.span_by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn rejects_empty_assembly() {
+        let empty =
+            Assembly { name: "E".into(), release: 1, kind: AssemblyKind::Toplevel, contigs: vec![] };
+        assert!(PackedGenome::from_assembly(&empty).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_span_table() {
+        let g = PackedGenome::from_assembly(&asm()).unwrap();
+        let codes = g.codes().to_vec();
+        let mut spans = g.spans().to_vec();
+        assert!(PackedGenome::from_parts(codes.clone(), spans.clone()).is_ok());
+        spans[1].start = 11;
+        assert!(PackedGenome::from_parts(codes.clone(), spans).is_err());
+        let mut spans = g.spans().to_vec();
+        spans[2].len = 99;
+        assert!(PackedGenome::from_parts(codes, spans).is_err());
+    }
+
+    #[test]
+    fn packed_size_is_quarter_of_length_plus_overhead() {
+        let g = PackedGenome::from_assembly(&asm()).unwrap();
+        assert!(g.packed_byte_size() >= 5);
+        assert!(g.packed_byte_size() < 5 + 3 * 40);
+    }
+}

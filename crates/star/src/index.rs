@@ -1,0 +1,409 @@
+//! The genome index: packed genome + suffix array + prefix table + sjdb.
+//!
+//! This is the artifact whose size the paper's §III-A compares across Ensembl
+//! releases (85 GiB on release 108 vs 29.5 GiB on release 111): [`IndexStats`] gives
+//! byte-accurate component sizes, and [`StarIndex::serialize`]/[`StarIndex::deserialize`]
+//! provide the on-disk form whose download-and-load cost the cloud model charges at
+//! instance initialization.
+
+use crate::genome::{ContigSpan, PackedGenome};
+use crate::prefix::PrefixTable;
+use crate::sa::SuffixArray;
+use crate::sjdb::SpliceJunctionDb;
+use crate::StarError;
+use genomics::{Annotation, Assembly};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for index construction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IndexParams {
+    /// Prefix-table depth; `None` selects automatically from the genome length
+    /// (STAR's `--genomeSAindexNbases` default formula).
+    pub sa_index_nbases: Option<usize>,
+    /// Upper bound for the automatic prefix depth.
+    pub sa_index_nbases_cap: usize,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        IndexParams { sa_index_nbases: None, sa_index_nbases_cap: 11 }
+    }
+}
+
+/// Byte-accurate sizes of the index components.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// 2-bit packed genome bytes (STAR `Genome` file).
+    pub genome_bytes: usize,
+    /// Suffix-array bytes (STAR `SA` file) — the dominant component.
+    pub sa_bytes: usize,
+    /// Prefix lookup table bytes (STAR `SAindex` file).
+    pub prefix_bytes: usize,
+    /// Splice-junction database bytes (STAR `sjdb*` files).
+    pub sjdb_bytes: usize,
+    /// Genome length in bases.
+    pub genome_len: usize,
+    /// Number of contigs.
+    pub n_contigs: usize,
+}
+
+impl IndexStats {
+    /// Total index size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.genome_bytes + self.sa_bytes + self.prefix_bytes + self.sjdb_bytes
+    }
+}
+
+/// The complete alignment index for one assembly.
+#[derive(Clone, Debug)]
+pub struct StarIndex {
+    genome: PackedGenome,
+    sa: SuffixArray,
+    prefix: PrefixTable,
+    sjdb: SpliceJunctionDb,
+    /// Assembly name recorded for provenance (e.g. `"GRCh38-sim"`).
+    pub assembly_name: String,
+    /// Ensembl release the source assembly came from.
+    pub release: u32,
+}
+
+impl StarIndex {
+    /// Build an index from an assembly and annotation ("genomeGenerate" mode).
+    pub fn build(
+        assembly: &Assembly,
+        annotation: &Annotation,
+        params: &IndexParams,
+    ) -> Result<StarIndex, StarError> {
+        let genome = PackedGenome::from_assembly(assembly)?;
+        let sa = SuffixArray::build(genome.codes());
+        let k = params
+            .sa_index_nbases
+            .unwrap_or_else(|| PrefixTable::auto_k(genome.len(), params.sa_index_nbases_cap));
+        if k > 13 {
+            return Err(StarError::InvalidParams(format!("sa_index_nbases {k} > 13")));
+        }
+        let prefix = PrefixTable::build(&sa, genome.codes(), k);
+        let sjdb = SpliceJunctionDb::from_annotation(annotation, &genome);
+        Ok(StarIndex {
+            genome,
+            sa,
+            prefix,
+            sjdb,
+            assembly_name: assembly.name.clone(),
+            release: assembly.release,
+        })
+    }
+
+    /// The packed genome.
+    pub fn genome(&self) -> &PackedGenome {
+        &self.genome
+    }
+
+    /// The suffix array.
+    pub fn sa(&self) -> &SuffixArray {
+        &self.sa
+    }
+
+    /// The prefix lookup table.
+    pub fn prefix(&self) -> &PrefixTable {
+        &self.prefix
+    }
+
+    /// The splice-junction database.
+    pub fn sjdb(&self) -> &SpliceJunctionDb {
+        &self.sjdb
+    }
+
+    /// Clone this index with additional sjdb junctions (global coordinates) — the
+    /// second-pass index of `--twopassMode Basic`.
+    pub fn with_extra_junctions(&self, junctions: impl IntoIterator<Item = (u64, u64)>) -> StarIndex {
+        let mut out = self.clone();
+        for (s, e) in junctions {
+            out.sjdb.insert(s, e);
+        }
+        out
+    }
+
+    /// Component sizes (the paper's index-size comparison).
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            genome_bytes: self.genome.packed_byte_size(),
+            sa_bytes: self.sa.byte_size(),
+            prefix_bytes: self.prefix.byte_size(),
+            sjdb_bytes: self.sjdb.byte_size(),
+            genome_len: self.genome.len(),
+            n_contigs: self.genome.spans().len(),
+        }
+    }
+
+    /// Serialize to a self-describing little-endian binary blob.
+    ///
+    /// Layout: magic, version, header lengths, then genome codes (byte per base —
+    /// the blob favours load speed over the 2-bit packing used for size accounting),
+    /// span table, SA, prefix table, sjdb.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.genome.len() * 5 + 1024);
+        out.extend_from_slice(MAGIC);
+        push_u32(&mut out, VERSION);
+        push_str(&mut out, &self.assembly_name);
+        push_u32(&mut out, self.release);
+        // Genome codes.
+        push_u64(&mut out, self.genome.len() as u64);
+        out.extend_from_slice(self.genome.codes());
+        // Span table.
+        push_u32(&mut out, self.genome.spans().len() as u32);
+        for s in self.genome.spans() {
+            push_str(&mut out, &s.name);
+            push_u32(&mut out, contig_kind_code(s.kind));
+            push_u64(&mut out, s.start);
+            push_u64(&mut out, s.len);
+        }
+        // Suffix array.
+        push_u64(&mut out, self.sa.len() as u64);
+        for &p in self.sa.positions() {
+            push_u32(&mut out, p);
+        }
+        // Prefix table.
+        let (starts, ends, k) = self.prefix.raw();
+        push_u32(&mut out, k as u32);
+        for &v in starts {
+            push_u32(&mut out, v);
+        }
+        for &v in ends {
+            push_u32(&mut out, v);
+        }
+        // Sjdb.
+        let js = self.sjdb.sorted();
+        push_u64(&mut out, js.len() as u64);
+        for j in js {
+            push_u64(&mut out, j.intron_start);
+            push_u64(&mut out, j.intron_end);
+        }
+        out
+    }
+
+    /// Deserialize a blob produced by [`StarIndex::serialize`], with structural
+    /// validation of every component.
+    pub fn deserialize(bytes: &[u8]) -> Result<StarIndex, StarError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(StarError::CorruptIndex("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(StarError::CorruptIndex(format!("unsupported version {version}")));
+        }
+        let assembly_name = r.string()?;
+        let release = r.u32()?;
+        let glen = r.u64()? as usize;
+        let codes = r.take(glen)?.to_vec();
+        if codes.iter().any(|&c| c > 3) {
+            return Err(StarError::CorruptIndex("genome code out of range".into()));
+        }
+        let n_spans = r.u32()? as usize;
+        let mut spans = Vec::with_capacity(n_spans);
+        for _ in 0..n_spans {
+            let name = r.string()?;
+            let kind = contig_kind_from_code(r.u32()?)?;
+            let start = r.u64()?;
+            let len = r.u64()?;
+            spans.push(ContigSpan { name, kind, start, len });
+        }
+        let genome = PackedGenome::from_parts(codes, spans)?;
+        let sa_len = r.u64()? as usize;
+        let mut sa_raw = Vec::with_capacity(sa_len);
+        for _ in 0..sa_len {
+            sa_raw.push(r.u32()?);
+        }
+        let sa = SuffixArray::from_raw(sa_raw, genome.len())?;
+        let k = r.u32()? as usize;
+        if k == 0 || k > 13 {
+            return Err(StarError::CorruptIndex(format!("prefix depth {k}")));
+        }
+        let buckets = 1usize << (2 * k);
+        let mut starts = Vec::with_capacity(buckets);
+        for _ in 0..buckets {
+            starts.push(r.u32()?);
+        }
+        let mut ends = Vec::with_capacity(buckets);
+        for _ in 0..buckets {
+            ends.push(r.u32()?);
+        }
+        let prefix = PrefixTable::from_raw(starts, ends, k, sa.len())?;
+        let n_j = r.u64()? as usize;
+        let mut pairs = Vec::with_capacity(n_j);
+        for _ in 0..n_j {
+            let s = r.u64()?;
+            let e = r.u64()?;
+            if e <= s || e > genome.len() as u64 {
+                return Err(StarError::CorruptIndex(format!("junction {s}..{e} out of range")));
+            }
+            pairs.push((s, e));
+        }
+        if r.pos != bytes.len() {
+            return Err(StarError::CorruptIndex(format!("{} trailing bytes", bytes.len() - r.pos)));
+        }
+        Ok(StarIndex {
+            genome,
+            sa,
+            prefix,
+            sjdb: SpliceJunctionDb::from_raw(pairs),
+            assembly_name,
+            release,
+        })
+    }
+}
+
+const MAGIC: &[u8] = b"STARIDX\0";
+const VERSION: u32 = 1;
+
+fn contig_kind_code(kind: genomics::ContigKind) -> u32 {
+    match kind {
+        genomics::ContigKind::Chromosome => 0,
+        genomics::ContigKind::UnlocalizedScaffold => 1,
+        genomics::ContigKind::UnplacedScaffold => 2,
+    }
+}
+
+fn contig_kind_from_code(code: u32) -> Result<genomics::ContigKind, StarError> {
+    match code {
+        0 => Ok(genomics::ContigKind::Chromosome),
+        1 => Ok(genomics::ContigKind::UnlocalizedScaffold),
+        2 => Ok(genomics::ContigKind::UnplacedScaffold),
+        _ => Err(StarError::CorruptIndex(format!("contig kind code {code}"))),
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StarError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(StarError::CorruptIndex("unexpected end of blob".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, StarError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StarError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, StarError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 20 {
+            return Err(StarError::CorruptIndex("string length implausible".into()));
+        }
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| StarError::CorruptIndex("non-utf8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomics::annotation::AnnotationParams;
+    use genomics::{EnsemblGenerator, EnsemblParams, Release};
+
+    fn small_index() -> StarIndex {
+        let g = EnsemblGenerator::new(EnsemblParams::tiny()).unwrap();
+        let asm = g.generate(Release::R111);
+        let ann = Annotation::simulate(&asm, &g, &AnnotationParams::default()).unwrap();
+        StarIndex::build(&asm, &ann, &IndexParams::default()).unwrap()
+    }
+
+    #[test]
+    fn build_produces_consistent_components() {
+        let idx = small_index();
+        assert_eq!(idx.sa().len(), idx.genome().len());
+        assert!(idx.prefix().k() >= 4);
+        assert!(!idx.sjdb().is_empty(), "annotation has multi-exon genes");
+        assert_eq!(idx.release, 111);
+    }
+
+    #[test]
+    fn stats_reflect_component_sizes() {
+        let idx = small_index();
+        let st = idx.stats();
+        assert_eq!(st.genome_len, idx.genome().len());
+        assert_eq!(st.sa_bytes, idx.genome().len() * 4);
+        assert!(st.total_bytes() > st.sa_bytes);
+        assert_eq!(
+            st.total_bytes(),
+            st.genome_bytes + st.sa_bytes + st.prefix_bytes + st.sjdb_bytes
+        );
+    }
+
+    #[test]
+    fn index_size_scales_with_release() {
+        let g = EnsemblGenerator::new(EnsemblParams::tiny()).unwrap();
+        let ann_params = AnnotationParams::default();
+        let mut totals = Vec::new();
+        for r in [Release::R108, Release::R111] {
+            let asm = g.generate(r);
+            let ann = Annotation::simulate(&asm, &g, &ann_params).unwrap();
+            let idx = StarIndex::build(&asm, &ann, &IndexParams::default()).unwrap();
+            totals.push(idx.stats().total_bytes());
+        }
+        let ratio = totals[0] as f64 / totals[1] as f64;
+        assert!(ratio > 2.0, "r108 index must be much larger, ratio {ratio}");
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let idx = small_index();
+        let blob = idx.serialize();
+        let back = StarIndex::deserialize(&blob).unwrap();
+        assert_eq!(back.genome().codes(), idx.genome().codes());
+        assert_eq!(back.genome().spans(), idx.genome().spans());
+        assert_eq!(back.sa().positions(), idx.sa().positions());
+        assert_eq!(back.prefix(), idx.prefix());
+        assert_eq!(back.sjdb().sorted(), idx.sjdb().sorted());
+        assert_eq!(back.assembly_name, idx.assembly_name);
+        assert_eq!(back.release, idx.release);
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        let idx = small_index();
+        let blob = idx.serialize();
+        // Bad magic.
+        let mut b = blob.clone();
+        b[0] ^= 0xFF;
+        assert!(StarIndex::deserialize(&b).is_err());
+        // Truncated.
+        assert!(StarIndex::deserialize(&blob[..blob.len() / 2]).is_err());
+        // Trailing garbage.
+        let mut b = blob.clone();
+        b.push(0);
+        assert!(StarIndex::deserialize(&b).is_err());
+        // Flip a genome code to an invalid value (codes start right after
+        // magic+version+name+release+len header).
+        let hdr = MAGIC.len() + 4 + 4 + idx.assembly_name.len() + 4 + 8;
+        let mut b = blob;
+        b[hdr] = 9;
+        assert!(StarIndex::deserialize(&b).is_err());
+    }
+}

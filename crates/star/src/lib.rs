@@ -1,0 +1,82 @@
+//! A from-scratch, STAR-style spliced RNA-seq aligner.
+//!
+//! This crate reimplements the algorithmic core of STAR (Dobin et al., 2013) that the
+//! paper's optimizations act through:
+//!
+//! * [`genome`] — the concatenated, contig-boundary-aware reference ("Genome" file).
+//! * [`sa`] — an uncompressed suffix array over the concatenated genome, STAR's
+//!   central index structure, built with prefix doubling (rayon-parallel sort).
+//! * [`prefix`] — the k-mer prefix lookup table (`genomeSAindexNbases` analog) that
+//!   seeds suffix-array searches.
+//! * [`sjdb`] — the annotated splice-junction database used for spliced stitching.
+//! * [`index`] — [`index::StarIndex`]: everything above bundled, with byte-accurate
+//!   size accounting (the 85 GiB vs 29.5 GiB comparison of the paper's §III-A) and
+//!   (de)serialization.
+//! * [`mmp`] — Maximal Mappable Prefix search, STAR's seed-discovery primitive.
+//! * [`seed`] / [`stitch`] / [`extend`] — seed collection, windowing/stitching into
+//!   collinear chains (introns allowed), and mismatch-scored extension to a full-read
+//!   alignment with soft clips.
+//! * [`align`] — the per-read alignment driver ([`align::Aligner`]).
+//! * [`quant`] — `--quantMode GeneCounts` equivalent (ReadsPerGene.out.tab).
+//! * [`progress`] — the `Log.progress.out` statistic stream (% mapped so far) that the
+//!   paper's early-stopping optimization consumes.
+//! * [`logs`] — `Log.final.out`-style run summary.
+//! * [`runner`] — the multi-threaded run driver (`runThreadN` analog) with a
+//!   cooperative cancellation hook for early stopping.
+//!
+//! # Simplifications relative to real STAR
+//!
+//! Substitution-only alignment (no indels — the simulators in `genomics` emit none),
+//! single-end reads, no 2-pass mode, and SAM-lite output records instead of BAM. None
+//! of these affect the evaluated claims; see DESIGN.md.
+//!
+//! # Quick example
+//!
+//! ```
+//! use genomics::{EnsemblGenerator, EnsemblParams, Release, Annotation,
+//!                annotation::AnnotationParams};
+//! use star_aligner::index::{IndexParams, StarIndex};
+//! use star_aligner::align::Aligner;
+//! use star_aligner::params::AlignParams;
+//!
+//! let generator = EnsemblGenerator::new(EnsemblParams::tiny()).unwrap();
+//! let assembly = generator.generate(Release::R111);
+//! let annotation = Annotation::simulate(&assembly, &generator,
+//!                                       &AnnotationParams::default()).unwrap();
+//! let index = StarIndex::build(&assembly, &annotation, &IndexParams::default()).unwrap();
+//! let aligner = Aligner::new(&index, AlignParams::default());
+//! // Align a read taken straight from chromosome 1.
+//! let chrom = assembly.contig("1").unwrap();
+//! let read = chrom.seq.subseq(1000, 1100);
+//! let result = aligner.align_seq(&read);
+//! assert!(result.is_mapped());
+//! ```
+
+pub mod align;
+pub mod error;
+pub mod extend;
+pub mod genome;
+pub mod index;
+pub mod junctions;
+pub mod logs;
+pub mod mmp;
+pub mod pair;
+pub mod params;
+pub mod prefix;
+pub mod progress;
+pub mod quant;
+pub mod runner;
+pub mod sa;
+pub mod sam;
+pub mod seed;
+pub mod sjdb;
+pub mod stitch;
+
+pub use align::{AlignOutcome, Aligner, AlignmentRecord, CigarOp, MapClass};
+pub use error::StarError;
+pub use index::{IndexParams, IndexStats, StarIndex};
+pub use pair::{PairOutcome, PairParams};
+pub use params::AlignParams;
+pub use junctions::{JunctionCollector, JunctionRow};
+pub use progress::{ProgressSnapshot, ProgressStats};
+pub use runner::{CancelToken, RunConfig, RunOutput, RunStatus, Runner};

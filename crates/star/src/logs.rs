@@ -1,0 +1,137 @@
+//! `Log.final.out` — end-of-run summary statistics.
+//!
+//! The genome-release experiment (§III-A) checks that mapping rates stay within 1 %
+//! across indices; this summary is where that number comes from.
+
+use crate::progress::ProgressSnapshot;
+use std::fmt;
+
+/// Final run summary, mirroring the fields of STAR's `Log.final.out` that the
+/// reproduction uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FinalLog {
+    /// Number of input reads.
+    pub input_reads: u64,
+    /// Uniquely mapped reads.
+    pub unique: u64,
+    /// Multimapped reads (within the cap).
+    pub multi: u64,
+    /// Reads mapped to too many loci.
+    pub too_many: u64,
+    /// Unmapped reads.
+    pub unmapped: u64,
+    /// Wall-clock seconds of the mapping run.
+    pub elapsed_secs: f64,
+}
+
+impl FinalLog {
+    /// Build from the final progress snapshot.
+    pub fn from_snapshot(s: &ProgressSnapshot) -> FinalLog {
+        FinalLog {
+            input_reads: s.processed,
+            unique: s.unique,
+            multi: s.multi,
+            too_many: s.too_many,
+            unmapped: s.unmapped,
+            elapsed_secs: s.elapsed_secs,
+        }
+    }
+
+    /// Uniquely mapped %, of input reads.
+    pub fn unique_pct(&self) -> f64 {
+        pct(self.unique, self.input_reads)
+    }
+
+    /// Multimapped %, of input reads.
+    pub fn multi_pct(&self) -> f64 {
+        pct(self.multi, self.input_reads)
+    }
+
+    /// Overall mapped % (unique + multi) — the paper's "mapping rate".
+    pub fn mapped_pct(&self) -> f64 {
+        pct(self.unique + self.multi, self.input_reads)
+    }
+
+    /// Mapping speed in reads/second.
+    pub fn reads_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.input_reads as f64 / self.elapsed_secs
+        }
+    }
+}
+
+fn pct(x: u64, of: u64) -> f64 {
+    if of == 0 {
+        0.0
+    } else {
+        x as f64 / of as f64 * 100.0
+    }
+}
+
+impl fmt::Display for FinalLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "                          Number of input reads |\t{}", self.input_reads)?;
+        writeln!(f, "                   Uniquely mapped reads number |\t{}", self.unique)?;
+        writeln!(f, "                        Uniquely mapped reads % |\t{:.2}%", self.unique_pct())?;
+        writeln!(f, "        Number of reads mapped to multiple loci |\t{}", self.multi)?;
+        writeln!(f, "             % of reads mapped to multiple loci |\t{:.2}%", self.multi_pct())?;
+        writeln!(f, "        Number of reads mapped to too many loci |\t{}", self.too_many)?;
+        writeln!(f, "             % of reads mapped to too many loci |\t{:.2}%", pct(self.too_many, self.input_reads))?;
+        writeln!(f, "                         Number of unmapped reads |\t{}", self.unmapped)?;
+        writeln!(f, "                              % of unmapped reads |\t{:.2}%", pct(self.unmapped, self.input_reads))?;
+        writeln!(f, "                                 Overall mapped % |\t{:.2}%", self.mapped_pct())?;
+        write!(f, "                           Mapping speed, reads/s |\t{:.0}", self.reads_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> FinalLog {
+        FinalLog { input_reads: 1000, unique: 800, multi: 100, too_many: 40, unmapped: 60, elapsed_secs: 2.0 }
+    }
+
+    #[test]
+    fn percentages_are_of_input_reads() {
+        let l = log();
+        assert!((l.unique_pct() - 80.0).abs() < 1e-12);
+        assert!((l.multi_pct() - 10.0).abs() < 1e-12);
+        assert!((l.mapped_pct() - 90.0).abs() < 1e-12);
+        assert!((l.reads_per_sec() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_inputs_do_not_divide_by_zero() {
+        let l = FinalLog { input_reads: 0, unique: 0, multi: 0, too_many: 0, unmapped: 0, elapsed_secs: 0.0 };
+        assert_eq!(l.mapped_pct(), 0.0);
+        assert_eq!(l.reads_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_star_style_rows() {
+        let text = log().to_string();
+        assert!(text.contains("Number of input reads |\t1000"));
+        assert!(text.contains("Uniquely mapped reads % |\t80.00%"));
+        assert!(text.contains("Overall mapped % |\t90.00%"));
+    }
+
+    #[test]
+    fn from_snapshot_copies_fields() {
+        let s = ProgressSnapshot {
+            total_reads: 10,
+            processed: 10,
+            unique: 7,
+            multi: 1,
+            too_many: 1,
+            unmapped: 1,
+            elapsed_secs: 1.5,
+        };
+        let l = FinalLog::from_snapshot(&s);
+        assert_eq!(l.input_reads, 10);
+        assert_eq!(l.unique, 7);
+        assert!((l.elapsed_secs - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! Maximal Mappable Prefix (MMP) search — STAR's seed-discovery primitive.
+//!
+//! The MMP of a read position `p` is the longest read substring starting at `p` that
+//! occurs anywhere in the genome (Dobin et al. 2013, Fig. 1). It is found by interval
+//! refinement on the suffix array, accelerated by the prefix lookup table for the
+//! first `k` bases; the search stops at the first base that empties the interval.
+
+use crate::index::StarIndex;
+use crate::sa::SaInterval;
+
+/// Result of one MMP search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mmp {
+    /// Start offset within the query pattern.
+    pub start: usize,
+    /// Matched prefix length (0 when even the first base is absent — impossible for
+    /// ACGT queries on a non-empty genome, but kept total).
+    pub len: usize,
+    /// Suffix-array interval of all genome occurrences of the matched prefix.
+    pub interval: SaInterval,
+}
+
+impl Mmp {
+    /// Number of genome positions the matched prefix occurs at.
+    pub fn occurrences(&self) -> u32 {
+        self.interval.size()
+    }
+}
+
+/// Once the live interval is at most this many suffixes, the search switches from
+/// binary-search refinement (O(log |iv|) probes per base) to direct per-suffix prefix
+/// extension (O(|iv| + remaining) contiguous compares). Same result, and the cost
+/// becomes proportional to the candidate count — which is exactly the quantity a
+/// scaffold-duplicated genome inflates.
+const DIRECT_EXTEND_MAX_INTERVAL: u32 = 16;
+
+/// Find the MMP of `pattern[from..]` against the index.
+///
+/// Uses the prefix table when at least `k` bases remain *and* the k-mer bucket is
+/// non-empty; otherwise falls back to base-by-base refinement from the root so the
+/// returned length is the true MMP length in every case.
+pub fn mmp_search(index: &StarIndex, pattern: &[u8], from: usize) -> Mmp {
+    let codes = index.genome().codes();
+    let sa = index.sa();
+    let query = &pattern[from..];
+    if query.is_empty() {
+        return Mmp { start: from, len: 0, interval: SaInterval { lo: 0, hi: 0 } };
+    }
+
+    let mut iv;
+    let mut depth;
+    match index.prefix().lookup(query) {
+        Some(bucket) if !bucket.is_empty() => {
+            iv = bucket;
+            depth = index.prefix().k();
+        }
+        _ => {
+            // Either the query is shorter than k, or its k-mer is absent: refine from
+            // the root to find the exact stopping point.
+            iv = sa.full();
+            depth = 0;
+        }
+    }
+
+    let mut best = Mmp { start: from, len: depth, interval: iv };
+    while depth < query.len() {
+        if iv.size() <= DIRECT_EXTEND_MAX_INTERVAL {
+            return direct_extend(codes, sa, query, from, depth, iv);
+        }
+        let next = sa.refine(codes, iv, depth, query[depth]);
+        if next.is_empty() {
+            break;
+        }
+        iv = next;
+        depth += 1;
+        best = Mmp { start: from, len: depth, interval: iv };
+    }
+    // When the bucket path was taken, depth started at k with a non-empty interval,
+    // so `best` is always consistent. When refinement from the root dies at depth 0,
+    // report len 0 with an empty interval.
+    if best.len == 0 {
+        best.interval = SaInterval { lo: 0, hi: 0 };
+    }
+    best
+}
+
+/// Finish an MMP search by extending every suffix of the (small) interval directly
+/// against the query and keeping the maximizers.
+///
+/// All suffixes in `iv` share `query[..depth]`. The suffixes matching the *longest*
+/// query prefix form a contiguous sub-interval (any suffix sorted between two
+/// suffixes sharing a prefix also shares it), so tracking the first/last maximizer
+/// reconstructs the exact interval binary refinement would have produced.
+fn direct_extend(
+    codes: &[u8],
+    sa: &crate::sa::SuffixArray,
+    query: &[u8],
+    from: usize,
+    depth: usize,
+    iv: SaInterval,
+) -> Mmp {
+    debug_assert!(!iv.is_empty());
+    let tail = &query[depth..];
+    let mut best_ext = 0usize;
+    let mut best_lo = iv.lo;
+    let mut best_hi = iv.lo;
+    for slot in iv.lo..iv.hi {
+        let pos = sa.suffix(slot) as usize + depth;
+        let avail = codes.len().saturating_sub(pos);
+        let max = tail.len().min(avail);
+        let suffix = &codes[pos..pos + max];
+        let ext = suffix.iter().zip(tail).take_while(|(a, b)| a == b).count();
+        match ext.cmp(&best_ext) {
+            std::cmp::Ordering::Greater => {
+                best_ext = ext;
+                best_lo = slot;
+                best_hi = slot + 1;
+            }
+            std::cmp::Ordering::Equal if best_ext > 0 => {
+                debug_assert_eq!(best_hi, slot, "maximizers must be contiguous");
+                best_hi = slot + 1;
+            }
+            _ => {}
+        }
+    }
+    if best_ext == 0 {
+        // No suffix continues the match: the MMP is exactly the shared prefix, and
+        // every suffix of the interval carries it.
+        if depth == 0 {
+            return Mmp { start: from, len: 0, interval: SaInterval { lo: 0, hi: 0 } };
+        }
+        return Mmp { start: from, len: depth, interval: iv };
+    }
+    Mmp { start: from, len: depth + best_ext, interval: SaInterval { lo: best_lo, hi: best_hi } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexParams, StarIndex};
+    use genomics::{Annotation, Assembly, AssemblyKind, Contig, ContigKind, DnaSeq};
+
+    fn index_of(seq: &str) -> StarIndex {
+        let asm = Assembly {
+            name: "T".into(),
+            release: 1,
+            kind: AssemblyKind::Toplevel,
+            contigs: vec![Contig {
+                name: "1".into(),
+                kind: ContigKind::Chromosome,
+                seq: seq.parse::<DnaSeq>().unwrap(),
+            }],
+        };
+        StarIndex::build(&asm, &Annotation::default(), &IndexParams::default()).unwrap()
+    }
+
+    /// Reference MMP: longest prefix of `q` occurring in `text`.
+    fn naive_mmp(text: &str, q: &str) -> usize {
+        (0..=q.len()).rev().find(|&l| l == 0 || text.contains(&q[..l])).unwrap_or(0)
+    }
+
+    #[test]
+    fn finds_full_match_for_genomic_substring() {
+        let text = "ACGTACGGTTACGATCGGATCGATTACGGATC";
+        let idx = index_of(text);
+        let q: DnaSeq = text[5..25].parse().unwrap();
+        let m = mmp_search(&idx, q.codes(), 0);
+        assert_eq!(m.len, 20);
+        assert!(m.occurrences() >= 1);
+        let hit = idx.sa().suffix(m.interval.lo) as usize;
+        assert_eq!(&text[hit..hit + 20], &text[5..25]);
+    }
+
+    #[test]
+    fn stops_at_first_mismatch() {
+        let text = "ACGTACGGTTACGATCGGATCGATTACGGATC";
+        let idx = index_of(text);
+        // 10 genomic bases then a divergent tail absent from the genome.
+        let q: DnaSeq = format!("{}{}", &text[3..13], "CCCCCCCCCC").parse().unwrap();
+        let m = mmp_search(&idx, q.codes(), 0);
+        assert_eq!(m.len, naive_mmp(text, &q.to_string()));
+        assert!(m.len >= 10);
+    }
+
+    #[test]
+    fn matches_naive_mmp_on_random_queries() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let text_seq = DnaSeq::random(&mut rng, 3000);
+        let text = text_seq.to_string();
+        let idx = index_of(&text);
+        for _ in 0..200 {
+            let qlen = rng.gen_range(1..60);
+            let q = DnaSeq::random(&mut rng, qlen);
+            let m = mmp_search(&idx, q.codes(), 0);
+            assert_eq!(m.len, naive_mmp(&text, &q.to_string()), "query {q}");
+            if m.len > 0 {
+                // Every reported occurrence really matches.
+                for slot in m.interval.lo..m.interval.hi {
+                    let pos = idx.sa().suffix(slot) as usize;
+                    assert_eq!(&text[pos..pos + m.len], &q.to_string()[..m.len]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respects_from_offset() {
+        let text = "ACGTACGGTTACGATCGGATCGATTACGGATC";
+        let idx = index_of(text);
+        let q: DnaSeq = format!("CCCCC{}", &text[0..15]).parse().unwrap();
+        let m = mmp_search(&idx, q.codes(), 5);
+        assert_eq!(m.start, 5);
+        assert_eq!(m.len, 15);
+    }
+
+    #[test]
+    fn empty_query_yields_len_zero() {
+        let idx = index_of("ACGTACGT");
+        let q: DnaSeq = "ACGT".parse().unwrap();
+        let m = mmp_search(&idx, q.codes(), 4);
+        assert_eq!(m.len, 0);
+        assert_eq!(m.occurrences(), 0);
+    }
+
+    #[test]
+    fn counts_all_occurrences_of_repeats() {
+        let unit = "ACGGTTCAGCATCGAAACCCTTTGGGA"; // 27bp unique-ish unit
+        let text = unit.repeat(4);
+        let idx = index_of(&text);
+        let q: DnaSeq = unit.parse().unwrap();
+        let m = mmp_search(&idx, q.codes(), 0);
+        // The full query matches (it is a substring) and the first `len` bases occur
+        // at least 4 times.
+        assert_eq!(m.len, unit.len());
+        assert_eq!(m.occurrences(), 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! k-mer prefix lookup table (`--genomeSAindexNbases` analog).
+//!
+//! STAR pre-resolves the first `k` bases of every suffix-array search through a dense
+//! 4^k-entry table, skipping the first `k` rounds of interval refinement. The table is
+//! part of the index and contributes to its size; `k` defaults to a `log4`-of-genome
+//! shape like STAR's `min(14, log2(GenomeLength)/2 - 1)`, with a smaller cap suited to
+//! synthetic genomes.
+//!
+//! Suffixes shorter than `k` bases (the last `k-1` genome positions) sort in between
+//! bucket runs; each bucket therefore stores its exact `[start, end)` slot range
+//! rather than deriving the end from the next bucket's start.
+
+use crate::sa::{SaInterval, SuffixArray};
+
+/// Dense k-mer → SA-interval table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixTable {
+    k: usize,
+    /// Per-bucket first SA slot; `u32::MAX` marks an empty bucket.
+    starts: Vec<u32>,
+    /// Per-bucket one-past-last SA slot (0 for empty buckets).
+    ends: Vec<u32>,
+}
+
+impl PrefixTable {
+    /// Choose a table depth for a genome of `n` bases: STAR's
+    /// `min(cap, log2(n)/2 - 1)` (`--genomeSAindexNbases` default), floored at 4.
+    pub fn auto_k(n: usize, cap: usize) -> usize {
+        let k = ((n.max(4) as f64).log2() / 2.0 - 1.0).floor() as isize;
+        (k.max(4) as usize).min(cap.max(4))
+    }
+
+    /// Build the table by a single scan over the suffix array.
+    pub fn build(sa: &SuffixArray, codes: &[u8], k: usize) -> PrefixTable {
+        assert!((1..=13).contains(&k), "prefix depth {k} unsupported");
+        let buckets = 1usize << (2 * k);
+        let mut starts = vec![u32::MAX; buckets];
+        let mut ends = vec![0u32; buckets];
+        for (slot, &pos) in sa.positions().iter().enumerate() {
+            let pos = pos as usize;
+            if pos + k > codes.len() {
+                continue; // suffix too short to be addressable through the table
+            }
+            let m = kmer_value(&codes[pos..pos + k]);
+            let slot = slot as u32;
+            if starts[m] == u32::MAX {
+                starts[m] = slot;
+            }
+            debug_assert!(
+                ends[m] == 0 || ends[m] == slot,
+                "bucket {m} not contiguous in the suffix array"
+            );
+            ends[m] = slot + 1;
+        }
+        PrefixTable { k, starts, ends }
+    }
+
+    /// The table depth `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// SA interval of suffixes starting with the `k`-mer at the front of `pattern`.
+    /// Returns `None` when `pattern` is shorter than `k` (caller falls back to plain
+    /// refinement from depth 0).
+    #[inline]
+    pub fn lookup(&self, pattern: &[u8]) -> Option<SaInterval> {
+        if pattern.len() < self.k {
+            return None;
+        }
+        let m = kmer_value(&pattern[..self.k]);
+        let lo = self.starts[m];
+        if lo == u32::MAX {
+            return Some(SaInterval { lo: 0, hi: 0 });
+        }
+        Some(SaInterval { lo, hi: self.ends[m] })
+    }
+
+    /// Bytes of memory/disk the table occupies.
+    pub fn byte_size(&self) -> usize {
+        (self.starts.len() + self.ends.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Raw parts for serialization.
+    pub(crate) fn raw(&self) -> (&[u32], &[u32], usize) {
+        (&self.starts, &self.ends, self.k)
+    }
+
+    /// Rebuild from serialized parts.
+    pub(crate) fn from_raw(
+        starts: Vec<u32>,
+        ends: Vec<u32>,
+        k: usize,
+        sa_len: usize,
+    ) -> Result<PrefixTable, crate::StarError> {
+        if k == 0 || k > 13 || starts.len() != 1usize << (2 * k) || ends.len() != starts.len() {
+            return Err(crate::StarError::CorruptIndex("prefix table shape mismatch".into()));
+        }
+        for (m, (&s, &e)) in starts.iter().zip(&ends).enumerate() {
+            if s == u32::MAX {
+                if e != 0 {
+                    return Err(crate::StarError::CorruptIndex(format!("bucket {m}: empty start, end {e}")));
+                }
+            } else if s >= e || e as usize > sa_len {
+                return Err(crate::StarError::CorruptIndex(format!("bucket {m}: bad range {s}..{e}")));
+            }
+        }
+        Ok(PrefixTable { k, starts, ends })
+    }
+}
+
+/// Pack the first `len` 2-bit codes into an integer (big-endian base order so that
+/// numeric order == lexicographic order).
+#[inline]
+fn kmer_value(codes: &[u8]) -> usize {
+    let mut v = 0usize;
+    for &c in codes {
+        v = (v << 2) | c as usize;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomics::DnaSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_agrees_with_sa_find_on_random_text() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = DnaSeq::random(&mut rng, 2000);
+        let sa = SuffixArray::build(s.codes());
+        let k = 4;
+        let table = PrefixTable::build(&sa, s.codes(), k);
+        // Every possible k-mer: the table interval must equal a from-scratch search.
+        for m in 0..(1usize << (2 * k)) {
+            let pattern: Vec<u8> =
+                (0..k).rev().map(|shift| ((m >> (2 * shift)) & 0b11) as u8).collect();
+            let via_table = table.lookup(&pattern).unwrap();
+            let via_find = sa.find(s.codes(), &pattern);
+            if via_find.is_empty() {
+                assert!(via_table.is_empty(), "k-mer {m:#b}");
+            } else {
+                assert_eq!(via_table, via_find, "k-mer {m:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_suffixes_do_not_leak_into_buckets() {
+        // Craft a text whose final short suffixes sort between bucket runs.
+        let s: DnaSeq = "CACGTC".parse().unwrap(); // suffixes include "C", "TC" (short for k=3)
+        let sa = SuffixArray::build(s.codes());
+        let t = PrefixTable::build(&sa, s.codes(), 3);
+        for pat_str in ["CAC", "ACG", "CGT", "GTC", "CCC", "TCA"] {
+            let pat: DnaSeq = pat_str.parse().unwrap();
+            let via_table = t.lookup(pat.codes()).unwrap();
+            let via_find = sa.find(s.codes(), pat.codes());
+            if via_find.is_empty() {
+                assert!(via_table.is_empty(), "{pat_str}");
+            } else {
+                assert_eq!(via_table, via_find, "{pat_str}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_pattern_returns_none() {
+        let s: DnaSeq = "ACGTACGTACGTACGT".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        let table = PrefixTable::build(&sa, s.codes(), 4);
+        assert!(table.lookup(&[0, 1]).is_none());
+        assert!(table.lookup(&[0, 1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn auto_k_scales_with_genome_and_respects_cap() {
+        assert_eq!(PrefixTable::auto_k(0, 12), 4);
+        let k_small = PrefixTable::auto_k(10_000, 12);
+        let k_big = PrefixTable::auto_k(100_000_000, 12);
+        assert!(k_small < k_big);
+        assert!(k_big <= 12);
+        assert_eq!(PrefixTable::auto_k(usize::MAX / 2, 8), 8);
+    }
+
+    #[test]
+    fn byte_size_counts_both_arrays() {
+        let s: DnaSeq = "ACGTACGTACGT".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        let t = PrefixTable::build(&sa, s.codes(), 4);
+        assert_eq!(t.byte_size(), 2 * 256 * 4);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let s: DnaSeq = "ACGTACGT".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        let t = PrefixTable::build(&sa, s.codes(), 4);
+        let (starts, ends, k) = t.raw();
+        assert!(PrefixTable::from_raw(starts.to_vec(), ends.to_vec(), k, sa.len()).is_ok());
+        assert!(PrefixTable::from_raw(starts.to_vec(), ends.to_vec(), 3, sa.len()).is_err());
+        // Empty bucket with nonzero end.
+        let mut bad_ends = ends.to_vec();
+        let empty_m = starts.iter().position(|&s| s == u32::MAX).unwrap();
+        bad_ends[empty_m] = 1;
+        assert!(PrefixTable::from_raw(starts.to_vec(), bad_ends, k, sa.len()).is_err());
+        // Range beyond SA.
+        let full_m = starts.iter().position(|&s| s != u32::MAX).unwrap();
+        let mut bad_ends = ends.to_vec();
+        bad_ends[full_m] = sa.len() as u32 + 5;
+        assert!(PrefixTable::from_raw(starts.to_vec(), bad_ends, k, sa.len()).is_err());
+    }
+
+    #[test]
+    fn homopolymer_buckets_match_find() {
+        let codes = vec![0u8; 64];
+        let sa = SuffixArray::build(&codes);
+        let t = PrefixTable::build(&sa, &codes, 4);
+        let pattern = vec![0u8; 4];
+        assert_eq!(t.lookup(&pattern).unwrap(), sa.find(&codes, &pattern));
+    }
+}

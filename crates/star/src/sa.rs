@@ -1,0 +1,296 @@
+//! Uncompressed suffix array — STAR's central index structure.
+//!
+//! Built with prefix doubling (Manber–Myers): O(n log n) rounds of a rayon-parallel
+//! sort. STAR likewise keeps its suffix array *uncompressed* to trade memory for
+//! search speed, which is exactly why index size matters so much in the paper (85 GiB
+//! for the release-108 human toplevel genome) and why shrinking the genome shrinks the
+//! instance-memory requirement.
+//!
+//! Search is interval refinement: an interval of the SA whose suffixes share a prefix
+//! is narrowed one base at a time via binary search ([`SuffixArray::refine`]), the
+//! primitive that the MMP seed search builds on.
+
+use rayon::prelude::*;
+
+/// An interval `[lo, hi)` of suffix-array slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaInterval {
+    pub lo: u32,
+    pub hi: u32,
+}
+
+impl SaInterval {
+    /// Number of suffixes in the interval.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True when the interval contains no suffixes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+/// The suffix array: all suffix start positions, lexicographically sorted.
+///
+/// A shorter suffix that is a prefix of a longer one sorts first (standard suffix
+/// order with an implicit end-of-text sentinel smaller than every base).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuffixArray {
+    sa: Vec<u32>,
+}
+
+impl SuffixArray {
+    /// Build the suffix array of `codes` (2-bit base codes, one per byte).
+    ///
+    /// Prefix doubling: ranks start as the codes themselves; each round sorts by
+    /// `(rank[i], rank[i+k])` and re-ranks, doubling `k`, until all ranks are unique.
+    pub fn build(codes: &[u8]) -> SuffixArray {
+        let n = codes.len();
+        assert!(n < u32::MAX as usize, "genome too large for u32 suffix array");
+        if n == 0 {
+            return SuffixArray { sa: Vec::new() };
+        }
+        let mut sa: Vec<u32> = (0..n as u32).collect();
+        // rank[i] = rank of suffix i by its first k characters; start with k = 1.
+        let mut rank: Vec<u32> = codes.iter().map(|&c| c as u32 + 1).collect();
+        let mut key: Vec<u64> = vec![0; n];
+        let mut k = 1usize;
+        loop {
+            // Composite key: (rank[i], rank[i+k]); missing second half sorts first.
+            key.par_iter_mut().enumerate().for_each(|(i, dst)| {
+                let r1 = rank[i] as u64;
+                let r2 = if i + k < n { rank[i + k] as u64 } else { 0 };
+                *dst = (r1 << 32) | r2;
+            });
+            sa.par_sort_unstable_by_key(|&i| key[i as usize]);
+            // Re-rank: equal keys share a rank.
+            let mut next_rank = vec![0u32; n];
+            let mut r = 1u32;
+            next_rank[sa[0] as usize] = r;
+            for w in sa.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                if key[a] != key[b] {
+                    r += 1;
+                }
+                next_rank[b] = r;
+            }
+            rank = next_rank;
+            if r as usize == n {
+                break; // all suffixes distinguished
+            }
+            k *= 2;
+            debug_assert!(k < 2 * n, "prefix doubling failed to converge");
+        }
+        SuffixArray { sa }
+    }
+
+    /// Reconstruct from a previously serialized position vector, validating that it
+    /// is a permutation of `0..len` (full lexicographic validation is the caller's
+    /// concern; this catches corruption cheaply).
+    pub(crate) fn from_raw(sa: Vec<u32>, text_len: usize) -> Result<SuffixArray, crate::StarError> {
+        if sa.len() != text_len {
+            return Err(crate::StarError::CorruptIndex(format!(
+                "suffix array has {} entries for text of length {text_len}",
+                sa.len()
+            )));
+        }
+        let mut seen = vec![false; text_len];
+        for &p in &sa {
+            let p = p as usize;
+            if p >= text_len || seen[p] {
+                return Err(crate::StarError::CorruptIndex("suffix array is not a permutation".into()));
+            }
+            seen[p] = true;
+        }
+        Ok(SuffixArray { sa })
+    }
+
+    /// Number of suffixes (= text length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// True for an empty text.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sa.is_empty()
+    }
+
+    /// The suffix start position stored in slot `slot`.
+    #[inline]
+    pub fn suffix(&self, slot: u32) -> u32 {
+        self.sa[slot as usize]
+    }
+
+    /// The raw sorted positions.
+    pub fn positions(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// The interval covering the whole array.
+    #[inline]
+    pub fn full(&self) -> SaInterval {
+        SaInterval { lo: 0, hi: self.sa.len() as u32 }
+    }
+
+    /// Narrow `iv` — whose suffixes all share some prefix of length `depth` — to the
+    /// sub-interval whose suffixes continue with base code `c` at offset `depth`.
+    ///
+    /// Suffixes too short to have a base at `depth` sort at the front of the interval
+    /// and are excluded. Two binary searches, O(log |iv|).
+    pub fn refine(&self, codes: &[u8], iv: SaInterval, depth: usize, c: u8) -> SaInterval {
+        // Rank of the character at `depth` for the suffix in a slot: end-of-text
+        // (suffix too short) ranks below every base.
+        let char_at = |slot: u32| -> i16 {
+            let pos = self.sa[slot as usize] as usize + depth;
+            if pos < codes.len() {
+                codes[pos] as i16
+            } else {
+                -1
+            }
+        };
+        let target = c as i16;
+        // Lower bound: first slot with char >= target.
+        let lo = lower_bound(iv.lo, iv.hi, |s| char_at(s) >= target);
+        // Upper bound: first slot with char > target.
+        let hi = lower_bound(lo, iv.hi, |s| char_at(s) > target);
+        SaInterval { lo, hi }
+    }
+
+    /// Find the SA interval of all suffixes starting with `pattern` (empty pattern →
+    /// full interval). Convenience wrapper over repeated [`SuffixArray::refine`].
+    pub fn find(&self, codes: &[u8], pattern: &[u8]) -> SaInterval {
+        let mut iv = self.full();
+        for (depth, &c) in pattern.iter().enumerate() {
+            iv = self.refine(codes, iv, depth, c);
+            if iv.is_empty() {
+                break;
+            }
+        }
+        iv
+    }
+
+    /// Bytes of memory/disk this structure occupies (4 bytes per suffix).
+    pub fn byte_size(&self) -> usize {
+        self.sa.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// First slot in `[lo, hi)` satisfying monotone predicate `pred` (or `hi`).
+fn lower_bound(lo: u32, hi: u32, pred: impl Fn(u32) -> bool) -> u32 {
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomics::DnaSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference: sort suffixes naively.
+    fn naive_sa(codes: &[u8]) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..codes.len() as u32).collect();
+        idx.sort_by(|&a, &b| codes[a as usize..].cmp(&codes[b as usize..]));
+        idx
+    }
+
+    #[test]
+    fn matches_naive_on_known_string() {
+        // "banana" in base codes: use ACGT alphabet — "ACGACA" style.
+        let s: DnaSeq = "ACGACGTACG".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        assert_eq!(sa.positions(), naive_sa(s.codes()).as_slice());
+    }
+
+    #[test]
+    fn matches_naive_on_random_strings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [1usize, 2, 5, 17, 100, 1000] {
+            let s = DnaSeq::random(&mut rng, len);
+            let sa = SuffixArray::build(s.codes());
+            assert_eq!(sa.positions(), naive_sa(s.codes()).as_slice(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn handles_homopolymer_worst_case() {
+        // All-equal text maximizes prefix-doubling rounds.
+        let codes = vec![0u8; 500];
+        let sa = SuffixArray::build(&codes);
+        // Suffixes of AAAA... sort shortest-first: positions n-1, n-2, ..., 0.
+        let expect: Vec<u32> = (0..500u32).rev().collect();
+        assert_eq!(sa.positions(), expect.as_slice());
+    }
+
+    #[test]
+    fn find_locates_all_occurrences() {
+        let s: DnaSeq = "ACGTACGTTACG".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        let pat: DnaSeq = "ACG".parse().unwrap();
+        let iv = sa.find(s.codes(), pat.codes());
+        let mut hits: Vec<u32> = (iv.lo..iv.hi).map(|slot| sa.suffix(slot)).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 4, 9]);
+        // Absent pattern.
+        let none: DnaSeq = "GGGG".parse().unwrap();
+        assert!(sa.find(s.codes(), none.codes()).is_empty());
+        // Empty pattern = everything.
+        assert_eq!(sa.find(s.codes(), &[]).size() as usize, s.len());
+    }
+
+    #[test]
+    fn refine_excludes_too_short_suffixes() {
+        let s: DnaSeq = "TTT".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        // Suffixes: "T"(2) < "TT"(1) < "TTT"(0). Searching "TT" must hit slots {1,2}.
+        let pat: DnaSeq = "TT".parse().unwrap();
+        let iv = sa.find(s.codes(), pat.codes());
+        assert_eq!(iv.size(), 2);
+        let mut hits: Vec<u32> = (iv.lo..iv.hi).map(|s_| sa.suffix(s_)).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn from_raw_rejects_corruption() {
+        let s: DnaSeq = "ACGT".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        let good = sa.positions().to_vec();
+        assert!(SuffixArray::from_raw(good.clone(), 4).is_ok());
+        assert!(SuffixArray::from_raw(good.clone(), 5).is_err());
+        let mut dup = good.clone();
+        dup[0] = dup[1];
+        assert!(SuffixArray::from_raw(dup, 4).is_err());
+        let mut oob = good;
+        oob[0] = 99;
+        assert!(SuffixArray::from_raw(oob, 4).is_err());
+    }
+
+    #[test]
+    fn empty_text_is_fine() {
+        let sa = SuffixArray::build(&[]);
+        assert!(sa.is_empty());
+        assert!(sa.find(&[], &[0]).is_empty());
+    }
+
+    #[test]
+    fn byte_size_counts_entries() {
+        let s: DnaSeq = "ACGTACGT".parse().unwrap();
+        let sa = SuffixArray::build(s.codes());
+        assert_eq!(sa.byte_size(), 32);
+    }
+}

@@ -1,0 +1,213 @@
+//! Seed collection: turn MMP hits into anchored genome seeds.
+//!
+//! Reads are scanned left to right; each MMP that is long enough and not too
+//! repetitive contributes one seed per genome occurrence. The scan then restarts just
+//! past the base that terminated the MMP (STAR's serial MMP search). Seeds that would
+//! cross a contig boundary are discarded.
+//!
+//! The seed *count* per read is the quantity the genome-release optimization moves:
+//! on the release-108 index every genic MMP interval also contains the duplicated
+//! scaffold copies, multiplying seeds — and all downstream stitching/extension work —
+//! by the copy number.
+
+use crate::index::StarIndex;
+use crate::mmp::mmp_search;
+use crate::params::AlignParams;
+
+/// One seed: an exact read↔genome match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Seed {
+    /// Offset in the (possibly reverse-complemented) read.
+    pub read_pos: u32,
+    /// Global genome position of the match start.
+    pub gpos: u64,
+    /// Exact-match length.
+    pub len: u32,
+    /// How many genome positions this seed's MMP interval had (1 = unique anchor).
+    pub interval_size: u32,
+}
+
+impl Seed {
+    /// Diagonal of the seed: `gpos - read_pos`, constant along an unspliced match.
+    #[inline]
+    pub fn diagonal(&self) -> i64 {
+        self.gpos as i64 - self.read_pos as i64
+    }
+
+    /// One past the last read base covered.
+    #[inline]
+    pub fn read_end(&self) -> u32 {
+        self.read_pos + self.len
+    }
+
+    /// One past the last genome base covered.
+    #[inline]
+    pub fn gend(&self) -> u64 {
+        self.gpos + self.len as u64
+    }
+}
+
+/// Collect seeds for `read_codes` (already oriented; the caller runs this once per
+/// strand). Returns seeds sorted by `read_pos`.
+pub fn collect_seeds(index: &StarIndex, read_codes: &[u8], params: &AlignParams) -> Vec<Seed> {
+    let mut seeds = Vec::new();
+    let mut from = 0usize;
+    let genome = index.genome();
+    while from < read_codes.len() && seeds.len() < params.max_seeds_per_read {
+        let m = mmp_search(index, read_codes, from);
+        if m.len == 0 {
+            from += 1;
+            continue;
+        }
+        if m.len >= params.min_seed_len && m.occurrences() <= params.anchor_multimap_nmax {
+            for slot in m.interval.lo..m.interval.hi {
+                let gpos = index.sa().suffix(slot) as u64;
+                if genome.fits_in_contig(gpos, m.len as u64) {
+                    seeds.push(Seed {
+                        read_pos: m.start as u32,
+                        gpos,
+                        len: m.len as u32,
+                        interval_size: m.occurrences(),
+                    });
+                    if seeds.len() >= params.max_seeds_per_read {
+                        break;
+                    }
+                }
+            }
+        }
+        // Restart past the mismatching base (or past the read end).
+        from = m.start + m.len + 1;
+    }
+    seeds.sort_unstable_by_key(|s| (s.read_pos, s.gpos));
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexParams, StarIndex};
+    use genomics::{Annotation, Assembly, AssemblyKind, Contig, ContigKind, DnaSeq};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn index_of_contigs(contigs: Vec<(&str, &str)>) -> StarIndex {
+        let asm = Assembly {
+            name: "T".into(),
+            release: 1,
+            kind: AssemblyKind::Toplevel,
+            contigs: contigs
+                .into_iter()
+                .map(|(name, seq)| Contig {
+                    name: name.into(),
+                    kind: ContigKind::Chromosome,
+                    seq: seq.parse::<DnaSeq>().unwrap(),
+                })
+                .collect(),
+        };
+        StarIndex::build(&asm, &Annotation::default(), &IndexParams::default()).unwrap()
+    }
+
+    fn random_text(seed: u64, len: usize) -> String {
+        DnaSeq::random(&mut StdRng::seed_from_u64(seed), len).to_string()
+    }
+
+    #[test]
+    fn perfect_read_yields_one_full_length_seed() {
+        let text = random_text(1, 2000);
+        let idx = index_of_contigs(vec![("1", &text)]);
+        let read: DnaSeq = text[300..400].parse().unwrap();
+        let seeds = collect_seeds(&idx, read.codes(), &AlignParams::default());
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].read_pos, 0);
+        assert_eq!(seeds[0].gpos, 300);
+        assert_eq!(seeds[0].len, 100);
+        assert_eq!(seeds[0].diagonal(), 300);
+    }
+
+    #[test]
+    fn mismatch_splits_into_two_seeds_on_same_diagonal() {
+        let text = random_text(2, 2000);
+        let idx = index_of_contigs(vec![("1", &text)]);
+        let mut read: DnaSeq = text[500..600].parse().unwrap();
+        // Flip base 50.
+        let mut codes = read.codes().to_vec();
+        codes[50] = (codes[50] + 1) % 4;
+        read = DnaSeq::from_codes(codes);
+        let seeds = collect_seeds(&idx, read.codes(), &AlignParams::default());
+        assert_eq!(seeds.len(), 2, "seeds: {seeds:?}");
+        assert_eq!(seeds[0].read_pos, 0);
+        assert_eq!(seeds[0].len, 50);
+        assert_eq!(seeds[1].read_pos, 51);
+        assert_eq!(seeds[1].len, 49);
+        assert_eq!(seeds[0].diagonal(), seeds[1].diagonal());
+    }
+
+    #[test]
+    fn repeated_segment_yields_one_seed_per_copy() {
+        let unique = random_text(3, 1000);
+        let repeat = &unique[100..200];
+        // Genome: unique + 3 extra copies of repeat.
+        let text = format!("{unique}{repeat}{repeat}{repeat}");
+        let idx = index_of_contigs(vec![("1", &text)]);
+        let read: DnaSeq = repeat.parse().unwrap();
+        let seeds = collect_seeds(&idx, read.codes(), &AlignParams::default());
+        assert_eq!(seeds.len(), 4, "one seed per genomic copy");
+        assert!(seeds.iter().all(|s| s.interval_size == 4));
+    }
+
+    #[test]
+    fn anchor_cap_suppresses_hyper_repetitive_seeds() {
+        let unique = random_text(3, 1000);
+        let repeat = &unique[100..200];
+        let text = format!("{unique}{}", repeat.repeat(5));
+        let idx = index_of_contigs(vec![("1", &text)]);
+        let read: DnaSeq = repeat.parse().unwrap();
+        let mut p = AlignParams::default();
+        p.anchor_multimap_nmax = 3; // repeat occurs 6 times > cap
+        let seeds = collect_seeds(&idx, read.codes(), &p);
+        assert!(seeds.is_empty(), "seeds above the anchor cap must be skipped: {seeds:?}");
+    }
+
+    #[test]
+    fn boundary_crossing_seeds_are_discarded() {
+        let a = random_text(4, 400);
+        let b = random_text(5, 400);
+        let idx = index_of_contigs(vec![("1", &a), ("2", &b)]);
+        // A read spanning the concatenation boundary exists in the packed genome but
+        // crosses contigs; its single seed must be rejected.
+        let mut read = DnaSeq::new();
+        read.extend_from(&a.parse::<DnaSeq>().unwrap().subseq(360, 400));
+        read.extend_from(&b.parse::<DnaSeq>().unwrap().subseq(0, 40));
+        let seeds = collect_seeds(&idx, read.codes(), &AlignParams::default());
+        // Any surviving seed must fit inside one contig.
+        for s in &seeds {
+            assert!(idx.genome().fits_in_contig(s.gpos, s.len as u64));
+        }
+        // And the full 80-mer straddling seed is gone.
+        assert!(seeds.iter().all(|s| s.len < 80));
+    }
+
+    #[test]
+    fn junk_read_produces_no_seeds() {
+        let text = random_text(6, 3000);
+        let idx = index_of_contigs(vec![("1", &text)]);
+        let read = DnaSeq::from_codes(vec![0u8; 100]); // poly-A
+        let seeds = collect_seeds(&idx, read.codes(), &AlignParams::default());
+        assert!(seeds.is_empty());
+    }
+
+    #[test]
+    fn seed_count_is_capped() {
+        // Genome of a short unit repeated many times; read = the unit, well below the
+        // anchor cap but spawning many occurrences.
+        let unit = random_text(7, 30);
+        let text = unit.repeat(40);
+        let idx = index_of_contigs(vec![("1", &text)]);
+        let read: DnaSeq = unit.repeat(3).parse().unwrap();
+        let mut p = AlignParams::default();
+        p.anchor_multimap_nmax = 1000;
+        p.max_seeds_per_read = 25;
+        let seeds = collect_seeds(&idx, read.codes(), &p);
+        assert!(seeds.len() <= 25);
+    }
+}
