@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, lints. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --release --offline --no-fail-fast
+cargo clippy --offline -- -D warnings

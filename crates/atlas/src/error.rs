@@ -15,6 +15,9 @@ pub enum AtlasError {
     Deseq(deseq_norm::DeseqError),
     /// Inconsistent configuration.
     InvalidParams(String),
+    /// The campaign's at-least-once accounting failed: some accession ended neither
+    /// completed nor dead-lettered (this is a simulator bug, never fault-induced).
+    Conservation(String),
 }
 
 impl fmt::Display for AtlasError {
@@ -25,6 +28,7 @@ impl fmt::Display for AtlasError {
             AtlasError::Cloud(e) => write!(f, "cloud: {e}"),
             AtlasError::Deseq(e) => write!(f, "deseq: {e}"),
             AtlasError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            AtlasError::Conservation(m) => write!(f, "conservation violated: {m}"),
         }
     }
 }
@@ -36,7 +40,7 @@ impl std::error::Error for AtlasError {
             AtlasError::Sra(e) => Some(e),
             AtlasError::Cloud(e) => Some(e),
             AtlasError::Deseq(e) => Some(e),
-            AtlasError::InvalidParams(_) => None,
+            AtlasError::InvalidParams(_) | AtlasError::Conservation(_) => None,
         }
     }
 }

@@ -24,13 +24,19 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::early_stop::SavingsSummary;
-use crate::pipeline::{AtlasPipeline, PipelineResult};
+use crate::pipeline::{AtlasPipeline, PipelineResult, StageTimes};
 use crate::AtlasError;
+use bytes::Bytes;
 use cloudsim::asg::AutoScalingGroup;
 use cloudsim::cost::{CostReport, CostTracker};
+use cloudsim::faults::{FaultInjector, FaultOp, FaultPlan};
 use cloudsim::instance::{InstanceId, InstanceState, InstanceType};
+use cloudsim::metrics::FaultCounters;
+use cloudsim::retry::RetryPolicy;
 use cloudsim::sqs::ReceiptHandle;
-use cloudsim::{EventQueue, ScalingPolicy, SimDuration, SimTime, SpotMarket, SqsQueue, TimeSeries};
+use cloudsim::{
+    EventQueue, ObjectStore, ScalingPolicy, SimDuration, SimTime, SpotMarket, SqsQueue, TimeSeries,
+};
 use deseq_norm::{CountsMatrix, NormalizedMatrix};
 use star_aligner::quant::Strandedness;
 
@@ -62,6 +68,13 @@ pub struct CampaignConfig {
     pub lease_margin: f64,
     /// Safety stop for the simulated clock.
     pub max_sim_secs: f64,
+    /// Deterministic fault plan for chaos campaigns (`None` = fault-free).
+    pub faults: Option<FaultPlan>,
+    /// Retry policy for S3/SQS calls made by workers.
+    pub retry: RetryPolicy,
+    /// Deliveries allowed per message before it moves to the dead-letter queue
+    /// (`None` = redeliver forever, the pre-DLQ behavior).
+    pub max_receive_count: Option<u32>,
 }
 
 impl CampaignConfig {
@@ -80,6 +93,9 @@ impl CampaignConfig {
             index_load_bps: 1e9,
             lease_margin: 3.0,
             max_sim_secs: 30.0 * 24.0 * 3600.0,
+            faults: None,
+            retry: RetryPolicy::default(),
+            max_receive_count: None,
         }
     }
 
@@ -98,6 +114,13 @@ impl CampaignConfig {
         }
         if self.max_sim_secs <= 0.0 {
             return Err(AtlasError::InvalidParams("max_sim_secs must be positive".into()));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate().map_err(AtlasError::Cloud)?;
+        }
+        self.retry.validate().map_err(AtlasError::Cloud)?;
+        if self.max_receive_count == Some(0) {
+            return Err(AtlasError::InvalidParams("max_receive_count must be >= 1".into()));
         }
         Ok(())
     }
@@ -145,6 +168,69 @@ pub struct CampaignReport {
     /// Fraction of active instance time spent busy on a pipeline (utilization —
     /// the paper's "high utilization of resources" goal).
     pub busy_fraction: f64,
+    /// Accessions that exhausted `max_receive_count` and landed in the DLQ
+    /// without ever completing (empty in fault-free campaigns).
+    pub dead_lettered: Vec<String>,
+    /// Injected-fault tallies (all zero when `CampaignConfig::faults` is `None`).
+    pub fault_counters: FaultCounters,
+    /// Jobs that finished an accession some other worker had already completed
+    /// (at-least-once duplicates absorbed by the results map).
+    pub duplicate_completions: u64,
+    /// Instance-seconds spent on work that produced nothing durable: crashed
+    /// jobs, duplicate completions, and results whose upload was lost. This is a
+    /// labeled slice of already-charged time, mirrored into
+    /// [`CostReport::wasted_usd`].
+    pub wasted_compute_secs: f64,
+}
+
+impl CampaignReport {
+    /// An order-sensitive FNV-1a digest of everything the fault layer can
+    /// perturb: completion order, dead letters, fault tallies, duplicate/waste
+    /// accounting, makespan and cost bits. Two runs of the same workload with
+    /// the same `FaultPlan` must produce identical digests (see the chaos
+    /// determinism test); differing seeds almost surely differ.
+    pub fn summary_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for r in &self.completed {
+            eat(r.accession.as_bytes());
+            eat(&[0xff]);
+        }
+        eat(&[0xfe]);
+        for a in &self.dead_lettered {
+            eat(a.as_bytes());
+            eat(&[0xff]);
+        }
+        eat(&(self.interruptions as u64).to_le_bytes());
+        eat(&self.redeliveries.to_le_bytes());
+        eat(&(self.instances_launched as u64).to_le_bytes());
+        eat(&self.duplicate_completions.to_le_bytes());
+        let c = &self.fault_counters;
+        for v in [
+            c.s3_get_faults,
+            c.s3_put_faults,
+            c.sqs_receive_faults,
+            c.sqs_delete_faults,
+            c.sqs_extend_faults,
+            c.duplicate_deliveries,
+            c.worker_crashes,
+            c.retry_attempts,
+            c.retries_exhausted,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        eat(&c.retry_backoff_secs.to_bits().to_le_bytes());
+        eat(&self.wasted_compute_secs.to_bits().to_le_bytes());
+        eat(&self.makespan.as_secs().to_bits().to_le_bytes());
+        eat(&self.cost.total_usd.to_bits().to_le_bytes());
+        eat(&self.cost.wasted_usd.to_bits().to_le_bytes());
+        h
+    }
 }
 
 enum Event {
@@ -158,6 +244,7 @@ enum Event {
         result: Box<PipelineResult>,
     },
     Interruption(InstanceId),
+    WorkerCrash { instance: InstanceId, epoch: u64, wasted_secs: f64 },
     ScaleTick,
 }
 
@@ -179,6 +266,9 @@ impl Orchestrator {
         let cfg = &self.config;
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut sqs: SqsQueue<String> = SqsQueue::new(cfg.visibility_timeout);
+        if let Some(max) = cfg.max_receive_count {
+            sqs = sqs.with_max_receive_count(max);
+        }
         let mut asg = AutoScalingGroup::new(cfg.scaling, cfg.instance_type, cfg.spot)
             .map_err(AtlasError::Cloud)?;
         let mut busy: HashMap<InstanceId, u64> = HashMap::new();
@@ -191,6 +281,15 @@ impl Orchestrator {
         let mut fleet_series = TimeSeries::new();
         let mut busy_series = TimeSeries::new();
         let mut instance_serial = 0u64;
+        let mut serials: HashMap<InstanceId, u64> = HashMap::new();
+        let mut injector = FaultInjector::new(cfg.faults.clone().unwrap_or_default());
+        let mut store = ObjectStore::new();
+        // Small sentinel for the index manifest: instances GET it at init, so a
+        // persistent S3 outage can fail a launch. The bulk index transfer time
+        // itself is modeled by `init_secs`, not by moving real bytes.
+        store.put("index/manifest", Bytes::from_static(b"star-index manifest"));
+        let mut duplicate_completions = 0u64;
+        let mut wasted_secs = 0.0f64;
 
         for a in accessions {
             sqs.send(a.clone());
@@ -200,11 +299,18 @@ impl Orchestrator {
         let target = accessions.len();
         let init = SimDuration::from_secs(cfg.init_secs());
         // Generous safety valve: every accession can bounce a few times before we
-        // declare the simulation wedged.
-        let max_events = 10_000 + 200 * target as u64 + 100_000;
+        // declare the simulation wedged (chaos campaigns bounce more than most).
+        let max_events = 10_000 + 400 * target as u64 + 200_000;
         let mut n_events = 0u64;
 
-        while results.len() < target {
+        // An accession is resolved once it completed or dead-lettered without
+        // completing; the campaign runs until every accession is resolved.
+        fn resolved(results: &BTreeMap<String, PipelineResult>, sqs: &SqsQueue<String>) -> usize {
+            results.len()
+                + sqs.dead_letters().iter().filter(|a| !results.contains_key(a.as_str())).count()
+        }
+
+        while resolved(&results, &sqs) < target {
             let Some((now, event)) = events.pop() else {
                 return Err(AtlasError::InvalidParams(
                     "event queue drained before the campaign completed (simulation bug)".into(),
@@ -229,11 +335,33 @@ impl Orchestrator {
                         let id = asg.launch(now);
                         fleet_series.record(now, asg.active_count() as f64);
                         instance_serial += 1;
-                        events.schedule(now + init, Event::InstanceReady(id));
+                        serials.insert(id, instance_serial);
+                        // Init starts with the manifest GET; a persistent S3
+                        // failure kills the launch and the ASG replaces the
+                        // instance at a later tick.
+                        match store.get_retrying(
+                            "index/manifest",
+                            &mut injector,
+                            instance_serial,
+                            &cfg.retry,
+                        ) {
+                            Ok((_, d)) => {
+                                events.schedule(now + init + d, Event::InstanceReady(id))
+                            }
+                            Err(_) => {
+                                if let Some(inst) = asg.instance_mut(id) {
+                                    inst.terminate(now);
+                                }
+                                fleet_series.record(now, asg.active_count() as f64);
+                            }
+                        }
                         if cfg.spot {
                             if let Some(t) =
                                 cfg.spot_market.sample_interruption(now, instance_serial)
                             {
+                                events.schedule(t, Event::Interruption(id));
+                            }
+                            if let Some(t) = injector.burst_interruption(now, instance_serial) {
                                 events.schedule(t, Event::Interruption(id));
                             }
                         }
@@ -254,7 +382,7 @@ impl Orchestrator {
                     });
                     fleet_series.record(now, asg.active_count() as f64);
                     busy_series.record(now, busy.len() as f64);
-                    if results.len() < target {
+                    if resolved(&results, &sqs) < target {
                         events.schedule(now + cfg.scale_tick, Event::ScaleTick);
                     }
                 }
@@ -274,7 +402,24 @@ impl Orchestrator {
                     if !alive || busy.contains_key(&id) {
                         continue;
                     }
-                    match sqs.receive(now) {
+                    let serial = serials.get(&id).copied().unwrap_or(0);
+                    let received = injector.with_retry(serial, FaultOp::SqsReceive, &cfg.retry, || {
+                        Ok(sqs.receive(now))
+                    });
+                    let receive_backoff = received.backoff;
+                    let msg = match received.outcome {
+                        Ok(m) => m,
+                        Err(_) => {
+                            // Receive retries exhausted: the worker backs off and
+                            // polls again; no message was consumed.
+                            events.schedule(
+                                now + cfg.poll_interval + receive_backoff,
+                                Event::Poll(id),
+                            );
+                            continue;
+                        }
+                    };
+                    match msg {
                         Some((accession, receipt, count)) => {
                             if count > 1 {
                                 redeliveries += 1;
@@ -282,7 +427,11 @@ impl Orchestrator {
                             if results.contains_key(&accession) {
                                 // A duplicate delivery of already-finished work:
                                 // acknowledge and poll again immediately.
-                                let _ = sqs.delete(receipt);
+                                let _ = injector
+                                    .with_retry(serial, FaultOp::SqsDelete, &cfg.retry, || {
+                                        sqs.delete(receipt)
+                                    })
+                                    .outcome;
                                 events.schedule(now, Event::Poll(id));
                                 continue;
                             }
@@ -292,12 +441,45 @@ impl Orchestrator {
                             next_epoch += 1;
                             busy.insert(id, epoch);
                             busy_series.record(now, busy.len() as f64);
-                            sqs.change_visibility(
-                                receipt,
-                                now,
-                                SimDuration::from_secs(duration * cfg.lease_margin),
-                            )
-                            .map_err(AtlasError::Cloud)?;
+                            // A failed or stale lease extension leaves the base
+                            // visibility timeout in force: the message may
+                            // re-deliver mid-job and the duplicate completion is
+                            // absorbed by the results map.
+                            let _ = injector
+                                .with_retry(serial, FaultOp::SqsExtend, &cfg.retry, || {
+                                    sqs.change_visibility(
+                                        receipt,
+                                        now,
+                                        SimDuration::from_secs(duration * cfg.lease_margin),
+                                    )
+                                })
+                                .outcome;
+                            // Duplicate delivery: the broker violates visibility
+                            // and hands this message to a second worker while
+                            // ours is still working on it.
+                            if injector.roll(serial, FaultOp::DuplicateDelivery) {
+                                let _ = sqs.force_visible(receipt);
+                            }
+                            if injector.roll(serial, FaultOp::WorkerCrash) {
+                                // Crash at a deterministic offset inside a
+                                // uniformly chosen pipeline stage.
+                                let stage = ((injector.side_roll(serial, 0xC0DE)
+                                    * StageTimes::N_STAGES as f64)
+                                    as usize)
+                                    .min(StageTimes::N_STAGES - 1);
+                                let offset = (result.stage_secs.prefix_secs(stage)
+                                    + injector.side_roll(serial, 0xC0DF)
+                                        * result.stage_secs.as_array()[stage])
+                                    .clamp(0.0, duration);
+                                events.schedule(
+                                    now + SimDuration::from_secs(offset),
+                                    Event::WorkerCrash {
+                                        instance: id,
+                                        epoch,
+                                        wasted_secs: offset,
+                                    },
+                                );
+                            }
                             events.schedule(
                                 now + SimDuration::from_secs(duration),
                                 Event::JobDone {
@@ -311,7 +493,10 @@ impl Orchestrator {
                         }
                         None => {
                             if sqs.pending_count() > 0 {
-                                events.schedule(now + cfg.poll_interval, Event::Poll(id));
+                                events.schedule(
+                                    now + cfg.poll_interval + receive_backoff,
+                                    Event::Poll(id),
+                                );
                             }
                             // Queue fully drained: stop polling; the ASG will reap us.
                         }
@@ -329,17 +514,55 @@ impl Orchestrator {
                     }
                     busy.remove(&instance);
                     busy_series.record(now, busy.len() as f64);
-                    // The lease was sized with margin, so the delete should succeed;
-                    // if it somehow went stale the message re-delivers and the
-                    // duplicate is absorbed by the results map.
-                    let _ = sqs.delete(receipt);
-                    if let std::collections::btree_map::Entry::Vacant(slot) =
-                        results.entry(accession.clone())
-                    {
-                        completion_order.push(accession);
-                        slot.insert(*result);
+                    let serial = serials.get(&instance).copied().unwrap_or(0);
+                    let duration = result.stage_secs.total();
+                    let upload = store.put_retrying(
+                        &format!("results/{accession}"),
+                        Bytes::from(accession.as_bytes().to_vec()),
+                        &mut injector,
+                        serial,
+                        &cfg.retry,
+                    );
+                    match upload {
+                        Ok(d) => {
+                            // The lease was sized with margin, so the delete should
+                            // succeed; if it went stale (duplicate delivery, missed
+                            // extension) the message re-delivers and the duplicate
+                            // is absorbed by the results map.
+                            let deleted = injector
+                                .with_retry(serial, FaultOp::SqsDelete, &cfg.retry, || {
+                                    sqs.delete(receipt)
+                                });
+                            if let std::collections::btree_map::Entry::Vacant(slot) =
+                                results.entry(accession.clone())
+                            {
+                                completion_order.push(accession);
+                                slot.insert(*result);
+                            } else {
+                                duplicate_completions += 1;
+                                wasted_secs += duration;
+                            }
+                            events.schedule(now + d + deleted.backoff, Event::Poll(instance));
+                        }
+                        Err(_) => {
+                            // Result upload exhausted its retries: the job's output
+                            // is lost and the message re-delivers after its lease
+                            // expires, so another worker redoes the work.
+                            wasted_secs += duration;
+                            events.schedule(now + cfg.poll_interval, Event::Poll(instance));
+                        }
                     }
-                    events.schedule(now, Event::Poll(instance));
+                }
+                Event::WorkerCrash { instance, epoch, wasted_secs: w } => {
+                    // The worker process dies mid-job (the instance survives and
+                    // re-polls); the in-flight message re-delivers after its lease
+                    // expires. A stale epoch means the job already finished.
+                    if busy.get(&instance) == Some(&epoch) {
+                        busy.remove(&instance);
+                        busy_series.record(now, busy.len() as f64);
+                        wasted_secs += w;
+                        events.schedule(now + cfg.poll_interval, Event::Poll(instance));
+                    }
                 }
                 Event::Interruption(id) => {
                     if let Some(inst) = asg.instance_mut(id) {
@@ -368,6 +591,30 @@ impl Orchestrator {
         }
         for inst in asg.instances() {
             cost.charge(inst, end);
+        }
+        cost.attribute_waste(cfg.instance_type, cfg.spot, wasted_secs);
+
+        // At-least-once accounting: every accession is completed or dead-lettered.
+        let dead_lettered: Vec<String> = sqs
+            .dead_letters()
+            .iter()
+            .filter(|a| !results.contains_key(a.as_str()))
+            .cloned()
+            .collect();
+        for a in accessions {
+            if !results.contains_key(a) && !dead_lettered.iter().any(|d| d == a) {
+                return Err(AtlasError::Conservation(format!(
+                    "accession {a} neither completed nor dead-lettered"
+                )));
+            }
+        }
+        if results.len() + dead_lettered.len() != target {
+            return Err(AtlasError::Conservation(format!(
+                "{} completed + {} dead-lettered != {} accessions",
+                results.len(),
+                dead_lettered.len(),
+                target
+            )));
         }
 
         let fleet_instance_secs = fleet_series.integral_until(end);
@@ -399,6 +646,10 @@ impl Orchestrator {
             fleet_timeline: timeline,
             mean_fleet_size,
             busy_fraction,
+            dead_lettered,
+            fault_counters: injector.tallies().clone(),
+            duplicate_completions,
+            wasted_compute_secs: wasted_secs,
         })
     }
 }
@@ -550,6 +801,76 @@ mod tests {
             "mean cannot exceed peak"
         );
         assert!((0.0..=1.0).contains(&report.busy_fraction), "busy {}", report.busy_fraction);
+    }
+
+    #[test]
+    fn fault_free_campaigns_report_zero_fault_accounting() {
+        let (pipeline, ids, index_bytes) = setup(6, 0.0);
+        let orch = Orchestrator::new(pipeline, config(index_bytes)).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert_eq!(report.fault_counters.total_faults(), 0);
+        assert_eq!(report.fault_counters.retry_attempts, 0);
+        assert!(report.dead_lettered.is_empty());
+        assert_eq!(report.duplicate_completions, 0);
+        assert_eq!(report.wasted_compute_secs, 0.0);
+        assert_eq!(report.cost.wasted_usd, 0.0);
+    }
+
+    #[test]
+    fn chaos_campaign_conserves_every_accession() {
+        let (pipeline, ids, index_bytes) = setup(10, 0.0);
+        let mut cfg = config(index_bytes);
+        cfg.faults = Some(FaultPlan::chaos(11));
+        cfg.max_receive_count = Some(6);
+        cfg.scale_tick = cloudsim::SimDuration::from_secs(10.0);
+        cfg.poll_interval = cloudsim::SimDuration::from_secs(5.0);
+        let orch = Orchestrator::new(pipeline, cfg).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert_eq!(
+            report.completed.len() + report.dead_lettered.len(),
+            10,
+            "conservation: {} completed, {:?} dead-lettered",
+            report.completed.len(),
+            report.dead_lettered
+        );
+        assert!(report.fault_counters.total_faults() > 0, "premise: chaos actually struck");
+    }
+
+    #[test]
+    fn worker_crashes_attribute_wasted_cost() {
+        let (pipeline, ids, index_bytes) = setup(8, 0.0);
+        let mut cfg = config(index_bytes);
+        cfg.faults = Some(FaultPlan {
+            seed: 5,
+            worker_crash_per_job: 0.5,
+            ..FaultPlan::default()
+        });
+        cfg.max_receive_count = Some(20);
+        let orch = Orchestrator::new(pipeline, cfg).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert!(report.fault_counters.worker_crashes > 0, "premise: crashes struck");
+        assert!(report.wasted_compute_secs > 0.0);
+        assert!(report.cost.wasted_usd > 0.0);
+        assert!(report.cost.wasted_usd <= report.cost.total_usd);
+        assert_eq!(report.completed.len(), 8, "crashes delay but do not lose work");
+    }
+
+    #[test]
+    fn persistent_put_failures_dead_letter_instead_of_hanging() {
+        let (pipeline, ids, index_bytes) = setup(4, 0.0);
+        let mut cfg = config(index_bytes);
+        // Every result upload fails forever: no accession can ever complete, so
+        // each message must exhaust its receive allowance and dead-letter.
+        cfg.faults = Some(FaultPlan { seed: 2, s3_put_fail: 1.0, ..FaultPlan::default() });
+        cfg.max_receive_count = Some(3);
+        cfg.scale_tick = cloudsim::SimDuration::from_secs(10.0);
+        cfg.poll_interval = cloudsim::SimDuration::from_secs(5.0);
+        let orch = Orchestrator::new(pipeline, cfg).unwrap();
+        let report = orch.run(&ids).unwrap();
+        assert_eq!(report.completed.len(), 0);
+        assert_eq!(report.dead_lettered.len(), 4);
+        assert!(report.fault_counters.retries_exhausted > 0);
+        assert!(report.wasted_compute_secs > 0.0, "every attempt was wasted work");
     }
 
     #[test]

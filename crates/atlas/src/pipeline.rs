@@ -42,6 +42,10 @@ pub struct PipelineConfig {
     /// Extra multiplier applied to measured alignment seconds when projecting the
     /// cloud clock (1.0 = wall time as measured).
     pub time_scale: f64,
+    /// When set, the align stage charges `processed_reads × this` seconds instead
+    /// of measured wall time, making campaign clocks bit-reproducible across runs
+    /// (required by the chaos-replay tests). `None` charges measured wall time.
+    pub align_secs_per_read: Option<f64>,
 }
 
 impl Default for PipelineConfig {
@@ -59,6 +63,7 @@ impl Default for PipelineConfig {
             run_config: RunConfig::default(),
             early_stop: Some(EarlyStopPolicy::default()),
             time_scale: 1.0,
+            align_secs_per_read: None,
         }
     }
 }
@@ -77,9 +82,29 @@ pub struct StageTimes {
 }
 
 impl StageTimes {
+    /// Number of pipeline stages.
+    pub const N_STAGES: usize = 4;
+
+    /// Stage names, in execution order.
+    pub const STAGE_NAMES: [&'static str; Self::N_STAGES] =
+        ["prefetch", "fasterq-dump", "align", "collect"];
+
     /// Total pipeline seconds.
     pub fn total(&self) -> f64 {
         self.prefetch_secs + self.dump_secs + self.align_secs + self.collect_secs
+    }
+
+    /// Durations as an array, in execution order.
+    pub fn as_array(&self) -> [f64; Self::N_STAGES] {
+        [self.prefetch_secs, self.dump_secs, self.align_secs, self.collect_secs]
+    }
+
+    /// Seconds elapsed before stage `stage` starts (prefix sum; `stage` is an index
+    /// into [`Self::STAGE_NAMES`]). Used by fault injection to place worker crashes
+    /// at a chosen pipeline stage.
+    pub fn prefix_secs(&self, stage: usize) -> f64 {
+        assert!(stage < Self::N_STAGES, "stage {stage} out of range");
+        self.as_array()[..stage].iter().sum()
     }
 }
 
@@ -215,7 +240,11 @@ impl AtlasPipeline {
         // Modeled alignment seconds: measured wall time, scaled for capped spots and
         // any explicit time_scale.
         let spots_ratio = if n_spots == 0 { 1.0 } else { meta.spots as f64 / n_spots as f64 };
-        let align_secs = output.wall_secs * spots_ratio * self.config.time_scale;
+        let measured_secs = match self.config.align_secs_per_read {
+            Some(per_read) => output.final_snapshot.processed as f64 * per_read,
+            None => output.wall_secs,
+        };
+        let align_secs = measured_secs * spots_ratio * self.config.time_scale;
         let early_stop = EarlyStopAccounting::from_run(&output, align_secs);
 
         // Stage 4: collect. Charged only for completed runs (aborted pipelines skip

@@ -188,6 +188,37 @@ pub fn render_campaign(r: &CampaignReport, instance: &str) -> String {
         r.mean_fleet_size,
         r.busy_fraction * 100.0
     );
+    let c = &r.fault_counters;
+    if c.total_faults() > 0 || !r.dead_lettered.is_empty() {
+        let _ = writeln!(
+            out,
+            "injected faults:      {} (s3 {}, sqs {}, dup deliveries {}, crashes {})",
+            c.total_faults(),
+            c.s3_get_faults + c.s3_put_faults,
+            c.sqs_receive_faults + c.sqs_delete_faults + c.sqs_extend_faults,
+            c.duplicate_deliveries,
+            c.worker_crashes
+        );
+        let _ = writeln!(
+            out,
+            "retries:              {} attempts, {} exhausted, {:.1}s backoff",
+            c.retry_attempts, c.retries_exhausted, c.retry_backoff_secs
+        );
+        let _ = writeln!(
+            out,
+            "dead-lettered:        {} ({})",
+            r.dead_lettered.len(),
+            if r.dead_lettered.is_empty() { "-".to_string() } else { r.dead_lettered.join(", ") }
+        );
+        let _ = writeln!(
+            out,
+            "wasted compute:       {:.1}s = ${:.2} ({:.1}% of spend; {} duplicate completions)",
+            r.wasted_compute_secs,
+            r.cost.wasted_usd,
+            r.cost.wasted_fraction() * 100.0,
+            r.duplicate_completions
+        );
+    }
     out
 }
 

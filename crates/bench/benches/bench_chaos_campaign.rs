@@ -1,0 +1,88 @@
+//! Chaos bench — the fault-injection layer's overhead on the discrete-event
+//! simulator. Three configurations over the same workload: fault-free baseline,
+//! a transient-fault chaos plan, and chaos plus a spot-interruption burst. The
+//! deltas show what deterministic injection, retry bookkeeping, and DLQ
+//! accounting cost per simulated campaign.
+
+use atlas_bench::{ensembl_params, Scale};
+use atlas_pipeline::experiments::Substrate;
+use atlas_pipeline::orchestrator::{CampaignConfig, Orchestrator};
+use atlas_pipeline::pipeline::{AtlasPipeline, PipelineConfig};
+use cloudsim::faults::{FaultPlan, SpotBurst};
+use cloudsim::instance::InstanceType;
+use cloudsim::ScalingPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sra_sim::accession::CatalogParams;
+use sra_sim::SraRepository;
+use std::sync::Arc;
+
+fn pipeline_fixture(sub: &Substrate, n_accessions: usize) -> (Arc<AtlasPipeline>, Vec<String>) {
+    let catalog = CatalogParams {
+        n_accessions,
+        bulk_spots_median: 400,
+        single_cell_fraction: 0.1,
+        ..CatalogParams::default()
+    }
+    .generate()
+    .expect("catalog");
+    let repo = Arc::new(
+        SraRepository::new(Arc::clone(&sub.asm_111), Arc::clone(&sub.annotation), catalog)
+            .with_spot_cap(500),
+    );
+    let mut pc = PipelineConfig::default();
+    pc.run_config.threads = 2;
+    pc.run_config.batch_size = 200;
+    // Modeled align time keeps every iteration's event schedule identical.
+    pc.align_secs_per_read = Some(2.0e-4);
+    let p = Arc::new(
+        AtlasPipeline::new(repo, Arc::clone(&sub.index_111), Arc::clone(&sub.annotation), pc)
+            .expect("pipeline"),
+    );
+    let ids = p.repository().ids();
+    (p, ids)
+}
+
+fn chaos_config(plan: Option<FaultPlan>) -> CampaignConfig {
+    let t = InstanceType::by_name("r6a.xlarge").expect("catalog type");
+    let mut cfg = CampaignConfig::new(t, 1 << 20);
+    cfg.scaling = ScalingPolicy { min_size: 0, max_size: 4, target_backlog_per_instance: 4 };
+    cfg.scale_tick = cloudsim::SimDuration::from_secs(10.0);
+    cfg.poll_interval = cloudsim::SimDuration::from_secs(5.0);
+    cfg.faults = plan;
+    cfg.max_receive_count = Some(6);
+    cfg
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let n = 12usize;
+    let (pipeline, ids) = pipeline_fixture(&sub, n);
+
+    let mut burst_plan = FaultPlan::chaos(9);
+    burst_plan.spot_bursts =
+        vec![SpotBurst { start_secs: 100.0, duration_secs: 600.0, rate_per_hour: 60.0 }];
+    let variants: [(&str, Option<FaultPlan>); 3] = [
+        ("fault_free", None),
+        ("chaos", Some(FaultPlan::chaos(9))),
+        ("chaos_with_burst", Some(burst_plan)),
+    ];
+
+    let mut group = c.benchmark_group("chaos_campaign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, plan) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| {
+                let orch = Orchestrator::new(Arc::clone(&pipeline), chaos_config(plan.clone()))
+                    .expect("orchestrator");
+                let report = orch.run(&ids).expect("campaign");
+                assert_eq!(report.completed.len() + report.dead_lettered.len(), ids.len());
+                report.summary_digest()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

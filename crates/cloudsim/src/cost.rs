@@ -22,6 +22,22 @@ pub struct CostReport {
     pub total_usd: f64,
     /// Total instance-hours.
     pub total_hours: f64,
+    /// Instance-hours spent on work that was thrown away (crashed jobs, duplicate
+    /// completions, results whose upload failed). Subset of `total_hours`.
+    pub wasted_hours: f64,
+    /// USD attributed to that wasted work. Subset of `total_usd`.
+    pub wasted_usd: f64,
+}
+
+impl CostReport {
+    /// Fraction of total spend that bought discarded work (0 when nothing accrued).
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.total_usd > 0.0 {
+            self.wasted_usd / self.total_usd
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The tracker: finalizes instances into the report.
@@ -60,6 +76,23 @@ impl CostTracker {
         *self.report.hours_by_type.entry(instance.itype.name.to_string()).or_default() += hours;
         self.report.total_usd += usd;
         self.report.total_hours += hours;
+    }
+
+    /// Attribute `secs` of one instance-type's time as wasted work (redone after a
+    /// crash, duplicated by a redelivery, or lost to a failed upload). This does not
+    /// add to the totals — the instance time is already charged by [`Self::charge`];
+    /// it labels a slice of it.
+    pub fn attribute_waste(&mut self, itype: &crate::instance::InstanceType, spot: bool, secs: f64) {
+        let hourly = if spot {
+            match &self.spot {
+                Some(m) => m.hourly_price(itype.on_demand_hourly_usd),
+                None => itype.on_demand_hourly_usd,
+            }
+        } else {
+            itype.on_demand_hourly_usd
+        };
+        self.report.wasted_hours += secs / 3600.0;
+        self.report.wasted_usd += hourly * secs / 3600.0;
     }
 
     /// The report so far.
@@ -112,6 +145,20 @@ mod tests {
         let mut c = CostTracker::on_demand();
         c.charge(&i, SimTime::from_secs(1800.0));
         assert!((c.report().total_usd - t.on_demand_hourly_usd / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waste_attribution_labels_without_double_charging() {
+        let market = SpotMarket { price_factor: 0.5, ..SpotMarket::default() };
+        let mut c = CostTracker::with_spot(market);
+        c.charge(&instance(true, 2.0), SimTime::from_secs(1e6));
+        let t = InstanceType::by_name("r6a.4xlarge").unwrap();
+        c.attribute_waste(t, true, 1800.0);
+        let r = c.report();
+        assert!((r.wasted_hours - 0.5).abs() < 1e-12);
+        assert!((r.wasted_usd - 0.5 * 1.0896 * 0.5).abs() < 1e-9);
+        assert!((r.total_usd - 2.0 * 0.5 * 1.0896).abs() < 1e-9, "totals unchanged by waste");
+        assert!((r.wasted_fraction() - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub enum CloudError {
     InvalidParams(String),
     /// SQS receipt handle is stale (message redelivered or deleted).
     StaleReceipt(String),
+    /// Injected transient service failure (retryable).
+    ServiceUnavailable(String),
+    /// A retried operation failed on every attempt of its policy.
+    RetriesExhausted(String),
 }
 
 impl fmt::Display for CloudError {
@@ -25,6 +29,8 @@ impl fmt::Display for CloudError {
             CloudError::InvalidState(m) => write!(f, "invalid state: {m}"),
             CloudError::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
             CloudError::StaleReceipt(m) => write!(f, "stale receipt: {m}"),
+            CloudError::ServiceUnavailable(m) => write!(f, "service unavailable: {m}"),
+            CloudError::RetriesExhausted(m) => write!(f, "retries exhausted: {m}"),
         }
     }
 }

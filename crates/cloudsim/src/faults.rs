@@ -1,0 +1,497 @@
+//! Deterministic fault injection for chaos campaigns.
+//!
+//! The paper's architecture (Fig. 2) gets its correctness from AWS failure
+//! semantics: SQS redelivers what a dead worker never deleted, S3 calls are retried
+//! by the SDK, and spot reclaims can strike any instance at any time. To *prove*
+//! the at-least-once path rather than assume it, a [`FaultPlan`] describes which
+//! operations misbehave and how often, and a [`FaultInjector`] turns that plan into
+//! concrete fault decisions.
+//!
+//! Every decision is a pure hash of `(seed, instance_serial, op, counter)` — no
+//! shared RNG stream — so two runs of the same plan produce identical fault
+//! schedules even if unrelated code draws random numbers in between, and a single
+//! instance's fault stream is independent of fleet size. That is what makes chaos
+//! campaigns replayable bit-for-bit and failures bisectable.
+
+use crate::metrics::FaultCounters;
+use crate::retry::RetryPolicy;
+use crate::time::{SimDuration, SimTime};
+use crate::CloudError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Operations that can fail transiently under a [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultOp {
+    /// S3 GET (index manifest download, result fetch).
+    S3Get,
+    /// S3 PUT (result upload).
+    S3Put,
+    /// SQS ReceiveMessage.
+    SqsReceive,
+    /// SQS DeleteMessage.
+    SqsDelete,
+    /// SQS ChangeMessageVisibility (lease heartbeat).
+    SqsExtend,
+    /// Duplicate delivery: a received message stays visible (visibility violated).
+    DuplicateDelivery,
+    /// Worker process crash mid-pipeline.
+    WorkerCrash,
+}
+
+impl FaultOp {
+    fn tag(self) -> u64 {
+        match self {
+            FaultOp::S3Get => 1,
+            FaultOp::S3Put => 2,
+            FaultOp::SqsReceive => 3,
+            FaultOp::SqsDelete => 4,
+            FaultOp::SqsExtend => 5,
+            FaultOp::DuplicateDelivery => 6,
+            FaultOp::WorkerCrash => 7,
+        }
+    }
+}
+
+/// A window of elevated spot-interruption pressure (capacity crunch), layered on
+/// top of [`crate::SpotMarket`]'s base Poisson process.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpotBurst {
+    /// Window start, simulated seconds.
+    pub start_secs: f64,
+    /// Window length, seconds.
+    pub duration_secs: f64,
+    /// Extra interruption rate during the window, per instance-hour.
+    pub rate_per_hour: f64,
+}
+
+/// Declarative description of a chaos campaign's faults.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed addressing the entire fault schedule.
+    pub seed: u64,
+    /// Probability an S3 GET attempt fails transiently.
+    pub s3_get_fail: f64,
+    /// Probability an S3 PUT attempt fails transiently.
+    pub s3_put_fail: f64,
+    /// Probability an SQS receive attempt fails transiently.
+    pub sqs_receive_fail: f64,
+    /// Probability an SQS delete attempt fails transiently.
+    pub sqs_delete_fail: f64,
+    /// Probability an SQS visibility-change attempt fails transiently.
+    pub sqs_extend_fail: f64,
+    /// Probability a successful receive is also duplicated (message stays visible).
+    pub duplicate_delivery: f64,
+    /// Probability a started job crashes partway through the pipeline.
+    pub worker_crash_per_job: f64,
+    /// Windows of elevated spot-interruption pressure.
+    pub spot_bursts: Vec<SpotBurst>,
+}
+
+impl Default for FaultPlan {
+    /// No faults at all: the injector becomes a no-op.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            s3_get_fail: 0.0,
+            s3_put_fail: 0.0,
+            sqs_receive_fail: 0.0,
+            sqs_delete_fail: 0.0,
+            sqs_extend_fail: 0.0,
+            duplicate_delivery: 0.0,
+            worker_crash_per_job: 0.0,
+            spot_bursts: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A moderately hostile plan for chaos tests: a few percent of everything.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            s3_get_fail: 0.05,
+            s3_put_fail: 0.05,
+            sqs_receive_fail: 0.05,
+            sqs_delete_fail: 0.05,
+            sqs_extend_fail: 0.05,
+            duplicate_delivery: 0.10,
+            worker_crash_per_job: 0.10,
+            spot_bursts: Vec::new(),
+        }
+    }
+
+    /// Validate probabilities and burst windows.
+    pub fn validate(&self) -> Result<(), CloudError> {
+        let probs = [
+            self.s3_get_fail,
+            self.s3_put_fail,
+            self.sqs_receive_fail,
+            self.sqs_delete_fail,
+            self.sqs_extend_fail,
+            self.duplicate_delivery,
+            self.worker_crash_per_job,
+        ];
+        if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err(CloudError::InvalidParams(
+                "fault probabilities must be in [0, 1]".into(),
+            ));
+        }
+        for b in &self.spot_bursts {
+            if b.start_secs < 0.0 || b.duration_secs <= 0.0 || b.rate_per_hour <= 0.0 {
+                return Err(CloudError::InvalidParams(
+                    "spot bursts need start >= 0, duration > 0, rate > 0".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn probability(&self, op: FaultOp) -> f64 {
+        match op {
+            FaultOp::S3Get => self.s3_get_fail,
+            FaultOp::S3Put => self.s3_put_fail,
+            FaultOp::SqsReceive => self.sqs_receive_fail,
+            FaultOp::SqsDelete => self.sqs_delete_fail,
+            FaultOp::SqsExtend => self.sqs_extend_fail,
+            FaultOp::DuplicateDelivery => self.duplicate_delivery,
+            FaultOp::WorkerCrash => self.worker_crash_per_job,
+        }
+    }
+}
+
+/// One injected fault, for the replayable event trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Instance the fault struck (launch serial).
+    pub instance_serial: u64,
+    /// Operation that failed.
+    pub op: FaultOp,
+    /// Per-(instance, op) attempt counter at the time of the fault.
+    pub counter: u64,
+}
+
+/// Result of driving an operation through [`FaultInjector::with_retry`].
+#[derive(Debug)]
+pub struct Retried<T> {
+    /// The final outcome (`Err` only when retries were exhausted or the underlying
+    /// operation failed for a non-injected reason).
+    pub outcome: Result<T, CloudError>,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total backoff slept between attempts.
+    pub backoff: SimDuration,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash of the address tuple.
+fn unit(seed: u64, serial: u64, stream: u64, counter: u64) -> f64 {
+    let h = mix64(seed ^ mix64(serial ^ mix64(stream ^ mix64(counter))));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Stateful view over a [`FaultPlan`]: tracks per-`(instance, op)` attempt counters,
+/// tallies what it injected, and records the fault trace.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counters: HashMap<(u64, FaultOp), u64>,
+    side_counters: HashMap<(u64, u64), u64>,
+    tallies: FaultCounters,
+    trace: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// An injector for `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            counters: HashMap::new(),
+            side_counters: HashMap::new(),
+            tallies: FaultCounters::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection tallies so far.
+    pub fn tallies(&self) -> &FaultCounters {
+        &self.tallies
+    }
+
+    /// The ordered trace of injected faults.
+    pub fn trace(&self) -> &[FaultEvent] {
+        &self.trace
+    }
+
+    /// Advance the `(serial, op)` counter and return its pre-increment value.
+    fn bump(&mut self, serial: u64, op: FaultOp) -> u64 {
+        let c = self.counters.entry((serial, op)).or_insert(0);
+        let v = *c;
+        *c += 1;
+        v
+    }
+
+    /// Roll one fault decision for `op` on instance `serial`. Deterministic in
+    /// `(plan.seed, serial, op, attempt counter)`.
+    pub fn roll(&mut self, serial: u64, op: FaultOp) -> bool {
+        let p = self.plan.probability(op);
+        let counter = self.bump(serial, op);
+        if p <= 0.0 {
+            return false;
+        }
+        let hit = unit(self.plan.seed, serial, op.tag(), counter) < p;
+        if hit {
+            self.tallies.count(op);
+            self.trace.push(FaultEvent { instance_serial: serial, op, counter });
+        }
+        hit
+    }
+
+    /// A deterministic uniform `[0, 1)` draw on a side stream (jitter, crash
+    /// offsets) that does not disturb the fault streams.
+    pub fn side_roll(&mut self, serial: u64, salt: u64) -> f64 {
+        let c = self.side_counters.entry((serial, salt)).or_insert(0);
+        let counter = *c;
+        *c += 1;
+        unit(self.plan.seed ^ 0xA5A5_A5A5_A5A5_A5A5, serial, salt, counter)
+    }
+
+    /// Drive `f` under `policy`, injecting transient `op` faults before each
+    /// attempt. Backoff accrues between failed attempts with deterministic jitter.
+    /// Non-injected errors from `f` (semantic failures like a stale receipt) are
+    /// returned immediately — retrying cannot fix them.
+    pub fn with_retry<T>(
+        &mut self,
+        serial: u64,
+        op: FaultOp,
+        policy: &RetryPolicy,
+        mut f: impl FnMut() -> Result<T, CloudError>,
+    ) -> Retried<T> {
+        let mut backoff = SimDuration::ZERO;
+        for attempt in 1..=policy.max_attempts {
+            if self.roll(serial, op) {
+                self.tallies.retry_attempts += 1;
+                if attempt == policy.max_attempts {
+                    self.tallies.retries_exhausted += 1;
+                    return Retried {
+                        outcome: Err(CloudError::RetriesExhausted(format!(
+                            "{op:?} on instance {serial} after {attempt} attempts"
+                        ))),
+                        attempts: attempt,
+                        backoff,
+                    };
+                }
+                let u = self.side_roll(serial, 0xB0FF ^ op.tag());
+                let sleep = policy.backoff_after(attempt, u);
+                backoff += sleep;
+                self.tallies.retry_backoff_secs += sleep.as_secs();
+                continue;
+            }
+            return Retried { outcome: f(), attempts: attempt, backoff };
+        }
+        unreachable!("max_attempts >= 1 is enforced by RetryPolicy::validate")
+    }
+
+    /// Earliest burst-layer interruption for an instance launched at `launched_at`,
+    /// if any burst window catches it. Deterministic per `(seed, serial, burst)`;
+    /// exponential waiting time within each window (memoryless, so sampling from
+    /// `max(window start, launch)` is exact).
+    pub fn burst_interruption(&self, launched_at: SimTime, serial: u64) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for (i, b) in self.plan.spot_bursts.iter().enumerate() {
+            let end = b.start_secs + b.duration_secs;
+            if launched_at.as_secs() >= end {
+                continue;
+            }
+            let from = launched_at.as_secs().max(b.start_secs);
+            let stream = serial.wrapping_mul(1 << 20).wrapping_add(i as u64);
+            let wait_hours =
+                crate::spot::exponential_hours(self.plan.seed ^ 0x5B5B_5B5B, stream, b.rate_per_hour);
+            let t = from + wait_hours * 3600.0;
+            if t < end {
+                let t = SimTime::from_secs(t);
+                earliest = Some(match earliest {
+                    Some(e) if e <= t => e,
+                    _ => t,
+                });
+            }
+        }
+        earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan { s3_get_fail: 0.5, sqs_delete_fail: 1.0, ..FaultPlan::default() }
+    }
+
+    #[test]
+    fn rolls_replay_bit_for_bit() {
+        let mut a = FaultInjector::new(FaultPlan::chaos(9));
+        let mut b = FaultInjector::new(FaultPlan::chaos(9));
+        for serial in 0..8 {
+            for _ in 0..50 {
+                assert_eq!(a.roll(serial, FaultOp::S3Get), b.roll(serial, FaultOp::S3Get));
+                assert_eq!(
+                    a.roll(serial, FaultOp::SqsReceive),
+                    b.roll(serial, FaultOp::SqsReceive)
+                );
+            }
+        }
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.tallies(), b.tallies());
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let mut a = FaultInjector::new(FaultPlan::chaos(1));
+        let mut b = FaultInjector::new(FaultPlan::chaos(2));
+        for serial in 0..4 {
+            for _ in 0..100 {
+                a.roll(serial, FaultOp::S3Get);
+                b.roll(serial, FaultOp::S3Get);
+            }
+        }
+        assert_ne!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn instance_streams_are_independent_of_interleaving() {
+        // Serial 5's decisions must not depend on how often serial 6 rolled.
+        let mut a = FaultInjector::new(plan());
+        let mut b = FaultInjector::new(plan());
+        let mut seq_a = Vec::new();
+        for _ in 0..40 {
+            seq_a.push(a.roll(5, FaultOp::S3Get));
+        }
+        let mut seq_b = Vec::new();
+        for i in 0..40 {
+            if i % 3 == 0 {
+                b.roll(6, FaultOp::S3Get);
+                b.roll(6, FaultOp::SqsReceive);
+            }
+            seq_b.push(b.roll(5, FaultOp::S3Get));
+        }
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn zero_probability_never_fires_and_one_always_fires() {
+        let mut inj = FaultInjector::new(plan());
+        for _ in 0..100 {
+            assert!(!inj.roll(1, FaultOp::S3Put), "p=0 must never fire");
+            assert!(inj.roll(1, FaultOp::SqsDelete), "p=1 must always fire");
+        }
+        assert_eq!(inj.tallies().sqs_delete_faults, 100);
+        assert_eq!(inj.tallies().s3_put_faults, 0);
+    }
+
+    #[test]
+    fn fault_rate_tracks_probability() {
+        let mut inj = FaultInjector::new(plan());
+        let n = 4000;
+        let mut hits = 0;
+        for serial in 0..4 {
+            for _ in 0..n / 4 {
+                if inj.roll(serial, FaultOp::S3Get) {
+                    hits += 1;
+                }
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate} for p=0.5");
+    }
+
+    #[test]
+    fn with_retry_recovers_from_transients() {
+        // p = 0.5 and 4 attempts: most calls succeed eventually; backoff accrues
+        // exactly when attempts were consumed.
+        let mut inj = FaultInjector::new(plan());
+        let policy = RetryPolicy::default();
+        let mut ok = 0;
+        let mut exhausted = 0;
+        for i in 0..200 {
+            let r = inj.with_retry(i % 8, FaultOp::S3Get, &policy, || Ok(42));
+            match r.outcome {
+                Ok(v) => {
+                    assert_eq!(v, 42);
+                    ok += 1;
+                    assert_eq!(r.backoff > SimDuration::ZERO, r.attempts > 1);
+                }
+                Err(CloudError::RetriesExhausted(_)) => {
+                    exhausted += 1;
+                    assert_eq!(r.attempts, policy.max_attempts);
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(ok > 150, "most calls should survive retries, got {ok}");
+        assert!(exhausted > 0, "p=0.5^4 over 200 calls should exhaust some");
+        assert_eq!(inj.tallies().retries_exhausted, exhausted);
+    }
+
+    #[test]
+    fn with_retry_passes_semantic_errors_through() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        let r: Retried<()> = inj.with_retry(0, FaultOp::SqsDelete, &RetryPolicy::default(), || {
+            Err(CloudError::StaleReceipt("r".into()))
+        });
+        assert_eq!(r.attempts, 1, "semantic errors are not retried");
+        assert!(matches!(r.outcome, Err(CloudError::StaleReceipt(_))));
+    }
+
+    #[test]
+    fn burst_interruptions_stay_in_window_and_replay() {
+        let plan = FaultPlan {
+            spot_bursts: vec![SpotBurst {
+                start_secs: 1000.0,
+                duration_secs: 600.0,
+                rate_per_hour: 60.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan.clone());
+        let inj2 = FaultInjector::new(plan);
+        let mut hit = 0;
+        for serial in 0..200 {
+            let t = inj.burst_interruption(SimTime::ZERO, serial);
+            assert_eq!(t, inj2.burst_interruption(SimTime::ZERO, serial));
+            if let Some(t) = t {
+                hit += 1;
+                assert!((1000.0..1600.0).contains(&t.as_secs()), "t {t}");
+            }
+        }
+        // λ=60/h over a 10-minute window: ~1 - e^-10 of instances hit.
+        assert!(hit > 180, "burst should catch nearly every instance, hit {hit}");
+        // Instances launched after the window are safe.
+        assert!(inj.burst_interruption(SimTime::from_secs(1601.0), 3).is_none());
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(FaultPlan::default().validate().is_ok());
+        assert!(FaultPlan::chaos(1).validate().is_ok());
+        let bad = FaultPlan { s3_get_fail: 1.5, ..FaultPlan::default() };
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan {
+            spot_bursts: vec![SpotBurst { start_secs: 0.0, duration_secs: 0.0, rate_per_hour: 1.0 }],
+            ..FaultPlan::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

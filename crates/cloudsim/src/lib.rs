@@ -8,6 +8,11 @@
 //! * [`instance`] — EC2 instance-type catalog (vCPU / memory / hourly price, incl.
 //!   the paper's `r6a.4xlarge` testbed) and instance lifecycle.
 //! * [`spot`] — spot pricing discount and a Poisson interruption process.
+//! * [`faults`] — deterministic fault injection: seeded chaos plans for S3/SQS
+//!   errors, duplicate deliveries, worker crashes, and spot bursts, replayable
+//!   bit-for-bit.
+//! * [`retry`] — capped exponential backoff with deterministic jitter (the AWS-SDK
+//!   retry machinery the paper's architecture silently assumes).
 //! * [`sqs`] — the work queue: visibility timeouts, at-least-once redelivery —
 //!   exactly the property that makes the architecture resilient to spot reclaims.
 //! * [`s3`] — the object store holding the pre-built index and pipeline results.
@@ -24,8 +29,10 @@ pub mod asg;
 pub mod cost;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod instance;
 pub mod metrics;
+pub mod retry;
 pub mod s3;
 pub mod spot;
 pub mod sqs;
@@ -35,8 +42,10 @@ pub use asg::{AutoScalingGroup, ScalingPolicy};
 pub use cost::CostTracker;
 pub use error::CloudError;
 pub use event::EventQueue;
+pub use faults::{FaultEvent, FaultInjector, FaultOp, FaultPlan, SpotBurst};
 pub use instance::{Instance, InstanceId, InstanceState, InstanceType, INSTANCE_CATALOG};
-pub use metrics::TimeSeries;
+pub use metrics::{FaultCounters, TimeSeries};
+pub use retry::RetryPolicy;
 pub use s3::ObjectStore;
 pub use spot::SpotMarket;
 pub use sqs::SqsQueue;

@@ -8,6 +8,61 @@
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Tallies of injected faults and retry activity over a chaos campaign.
+///
+/// Filled in by [`crate::faults::FaultInjector`] and quoted by campaign reports so
+/// a chaos run documents exactly how much adversity it survived.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Transient S3 GET failures injected.
+    pub s3_get_faults: u64,
+    /// Transient S3 PUT failures injected.
+    pub s3_put_faults: u64,
+    /// Transient SQS receive failures injected.
+    pub sqs_receive_faults: u64,
+    /// Transient SQS delete failures injected.
+    pub sqs_delete_faults: u64,
+    /// Transient SQS visibility-change failures injected.
+    pub sqs_extend_faults: u64,
+    /// Duplicate deliveries injected (message left visible after receive).
+    pub duplicate_deliveries: u64,
+    /// Worker crashes injected mid-pipeline.
+    pub worker_crashes: u64,
+    /// Failed attempts that consumed a retry.
+    pub retry_attempts: u64,
+    /// Operations that failed every attempt of their retry policy.
+    pub retries_exhausted: u64,
+    /// Total simulated seconds slept in retry backoff.
+    pub retry_backoff_secs: f64,
+}
+
+impl FaultCounters {
+    /// Record one injected fault of kind `op`.
+    pub fn count(&mut self, op: crate::faults::FaultOp) {
+        use crate::faults::FaultOp;
+        match op {
+            FaultOp::S3Get => self.s3_get_faults += 1,
+            FaultOp::S3Put => self.s3_put_faults += 1,
+            FaultOp::SqsReceive => self.sqs_receive_faults += 1,
+            FaultOp::SqsDelete => self.sqs_delete_faults += 1,
+            FaultOp::SqsExtend => self.sqs_extend_faults += 1,
+            FaultOp::DuplicateDelivery => self.duplicate_deliveries += 1,
+            FaultOp::WorkerCrash => self.worker_crashes += 1,
+        }
+    }
+
+    /// Total injected faults across all operation kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.s3_get_faults
+            + self.s3_put_faults
+            + self.sqs_receive_faults
+            + self.sqs_delete_faults
+            + self.sqs_extend_faults
+            + self.duplicate_deliveries
+            + self.worker_crashes
+    }
+}
+
 /// An append-only series of timestamped gauge samples.
 ///
 /// Samples must be appended in non-decreasing time order; the value is treated as a

@@ -5,6 +5,8 @@
 //! (`bytes / bandwidth + latency`) for the cloud clock; contents are real bytes so
 //! integration tests can round-trip archives and indices through it.
 
+use crate::faults::{FaultInjector, FaultOp};
+use crate::retry::RetryPolicy;
 use crate::time::SimDuration;
 use crate::CloudError;
 use bytes::Bytes;
@@ -104,6 +106,41 @@ impl ObjectStore {
     pub fn traffic(&self) -> (u64, u64) {
         (self.bytes_in, self.bytes_out)
     }
+
+    /// [`Self::get`] driven through a fault injector and retry policy. The returned
+    /// duration charges each failed attempt's request latency plus the backoff slept
+    /// between attempts, so injected faults slow the simulated clock the way real
+    /// 503s slow a worker.
+    pub fn get_retrying(
+        &mut self,
+        key: &str,
+        faults: &mut FaultInjector,
+        serial: u64,
+        retry: &RetryPolicy,
+    ) -> Result<(Bytes, SimDuration), CloudError> {
+        let latency = self.transfer.latency_secs;
+        let r = faults.with_retry(serial, FaultOp::S3Get, retry, || self.get(key));
+        let overhead =
+            SimDuration::from_secs((r.attempts - 1) as f64 * latency) + r.backoff;
+        r.outcome.map(|(data, d)| (data, d + overhead))
+    }
+
+    /// [`Self::put`] driven through a fault injector and retry policy; see
+    /// [`Self::get_retrying`] for the duration accounting.
+    pub fn put_retrying(
+        &mut self,
+        key: &str,
+        data: Bytes,
+        faults: &mut FaultInjector,
+        serial: u64,
+        retry: &RetryPolicy,
+    ) -> Result<SimDuration, CloudError> {
+        let latency = self.transfer.latency_secs;
+        let r = faults.with_retry(serial, FaultOp::S3Put, retry, || Ok(self.put(key, data.clone())));
+        let overhead =
+            SimDuration::from_secs((r.attempts - 1) as f64 * latency) + r.backoff;
+        r.outcome.map(|d| d + overhead)
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +194,29 @@ mod tests {
         let (in0, out0) = s.traffic();
         assert_eq!(s.head("k").unwrap(), 100);
         assert_eq!(s.traffic(), (in0, out0));
+    }
+
+    #[test]
+    fn retrying_ops_charge_failed_attempts_and_backoff() {
+        use crate::faults::FaultPlan;
+        let mut s = ObjectStore::with_model(TransferModel {
+            bandwidth_bytes_per_sec: 100.0,
+            latency_secs: 1.0,
+        });
+        s.put("k", Bytes::from(vec![0u8; 100]));
+        // Always-failing S3 GET exhausts the policy.
+        let mut inj = FaultInjector::new(FaultPlan { s3_get_fail: 1.0, seed: 1, ..FaultPlan::default() });
+        let policy = RetryPolicy::default();
+        let err = s.get_retrying("k", &mut inj, 0, &policy).unwrap_err();
+        assert!(matches!(err, CloudError::RetriesExhausted(_)));
+        assert_eq!(inj.tallies().retries_exhausted, 1);
+        // Fault-free path matches the plain op's duration.
+        let mut clean = FaultInjector::new(FaultPlan::default());
+        let (data, d) = s.get_retrying("k", &mut clean, 0, &policy).unwrap();
+        assert_eq!(data.len(), 100);
+        assert!((d.as_secs() - 2.0).abs() < 1e-9, "one attempt, no overhead: {d}");
+        let d_up = s.put_retrying("k2", Bytes::from(vec![0u8; 100]), &mut clean, 0, &policy).unwrap();
+        assert!((d_up.as_secs() - 2.0).abs() < 1e-9);
     }
 
     #[test]

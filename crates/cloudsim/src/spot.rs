@@ -27,6 +27,16 @@ impl Default for SpotMarket {
     }
 }
 
+/// Deterministic exponential waiting time (hours) at `rate_per_hour`, addressed by
+/// `(seed, stream)`. The seeded sampler behind [`SpotMarket::sample_interruption`],
+/// exposed so fault-injection layers (burst windows) draw from the same process.
+pub fn exponential_hours(seed: u64, stream: u64, rate_per_hour: f64) -> f64 {
+    assert!(rate_per_hour > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream));
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate_per_hour
+}
+
 impl SpotMarket {
     /// Spot USD/hour for an instance type.
     pub fn hourly_price(&self, on_demand_hourly_usd: f64) -> f64 {
@@ -40,11 +50,7 @@ impl SpotMarket {
         if self.interruptions_per_hour <= 0.0 {
             return None;
         }
-        let mut rng =
-            StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(instance_serial));
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        // Exponential inter-arrival with rate λ per hour.
-        let hours = -u.ln() / self.interruptions_per_hour;
+        let hours = exponential_hours(self.seed, instance_serial, self.interruptions_per_hour);
         Some(launched_at + SimDuration::from_hours(hours))
     }
 }

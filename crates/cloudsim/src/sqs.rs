@@ -4,6 +4,12 @@
 //! poll, and a message only disappears when the worker *deletes* it after success. If
 //! a worker dies (spot reclaim) or stalls past the visibility timeout, the message
 //! becomes visible again and another instance picks it up.
+//!
+//! With [`SqsQueue::with_max_receive_count`] the queue also models a dead-letter
+//! queue: a message that has already been delivered `max_receive_count` times is
+//! moved to the DLQ instead of being delivered again, so a poison accession cannot
+//! spin the fleet forever — and campaign accounting can prove conservation
+//! (`completed + dead_lettered == sent`).
 
 use crate::time::{SimDuration, SimTime};
 use crate::CloudError;
@@ -37,6 +43,10 @@ pub struct SqsQueue<M> {
     visible: VecDeque<usize>,
     default_visibility: SimDuration,
     next_receipt: u64,
+    /// Deliveries allowed before a message dead-letters (None = unbounded).
+    max_receive_count: Option<u32>,
+    /// Bodies moved to the dead-letter queue, in dead-letter order.
+    dead_letters: Vec<M>,
 }
 
 impl<M: Clone> SqsQueue<M> {
@@ -47,7 +57,17 @@ impl<M: Clone> SqsQueue<M> {
             visible: VecDeque::new(),
             default_visibility,
             next_receipt: 1,
+            max_receive_count: None,
+            dead_letters: Vec::new(),
         }
+    }
+
+    /// Attach a dead-letter policy: a message already delivered `n` times moves to
+    /// the DLQ instead of being delivered an `n+1`-th time (AWS redrive semantics).
+    pub fn with_max_receive_count(mut self, n: u32) -> SqsQueue<M> {
+        assert!(n >= 1, "max_receive_count must be >= 1");
+        self.max_receive_count = Some(n);
+        self
     }
 
     /// Send a message.
@@ -76,6 +96,16 @@ impl<M: Clone> SqsQueue<M> {
                 if t > now {
                     // Still in flight: keep it out of the visible list; reconcile
                     // will re-add it on expiry.
+                    continue;
+                }
+            }
+            if let Some(max) = self.max_receive_count {
+                if msg.receive_count >= max {
+                    // Redrive: the message used up its deliveries; dead-letter it.
+                    msg.deleted = true;
+                    msg.invisible_until = None;
+                    msg.current_receipt = None;
+                    self.dead_letters.push(msg.body.clone());
                     continue;
                 }
             }
@@ -142,6 +172,33 @@ impl<M: Clone> SqsQueue<M> {
     /// Total undeleted messages (visible + in flight).
     pub fn pending_count(&self) -> usize {
         self.messages.iter().filter(|m| !m.deleted).count()
+    }
+
+    /// Bodies that were dead-lettered, in DLQ arrival order.
+    pub fn dead_letters(&self) -> &[M] {
+        &self.dead_letters
+    }
+
+    /// Number of dead-lettered messages.
+    pub fn dead_letter_count(&self) -> usize {
+        self.dead_letters.len()
+    }
+
+    /// Force an in-flight message back to visible *without* invalidating the
+    /// receipt — models a duplicate delivery (SQS's at-least-once escape hatch:
+    /// visibility is best-effort, not a lock). The original consumer keeps a valid
+    /// receipt until the message is delivered again.
+    pub fn force_visible(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
+        let idx = self
+            .messages
+            .iter()
+            .position(|m| m.current_receipt == Some(receipt) && !m.deleted)
+            .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
+        self.messages[idx].invisible_until = None;
+        if !self.visible.contains(&idx) {
+            self.visible.push_back(idx);
+        }
+        Ok(())
     }
 
     /// Re-queue messages whose visibility timeout expired.
@@ -251,6 +308,53 @@ mod tests {
         let mut q = queue();
         assert!(q.receive(t(0.0)).is_none());
         assert_eq!(q.visible_count(t(0.0)), 0);
+    }
+
+    #[test]
+    fn dead_letter_after_max_receive_count() {
+        let mut q: SqsQueue<String> =
+            SqsQueue::new(SimDuration::from_secs(10.0)).with_max_receive_count(2);
+        q.send("poison".into());
+        // Two deliveries allowed; never deleted.
+        let (_, _, c1) = q.receive(t(0.0)).unwrap();
+        assert_eq!(c1, 1);
+        let (_, _, c2) = q.receive(t(11.0)).unwrap();
+        assert_eq!(c2, 2);
+        // Third delivery attempt dead-letters instead.
+        assert!(q.receive(t(22.0)).is_none());
+        assert_eq!(q.dead_letters(), &["poison".to_string()]);
+        assert_eq!(q.pending_count(), 0, "dead-lettered messages are no longer pending");
+        // And it never comes back.
+        assert!(q.receive(t(100.0)).is_none());
+        assert_eq!(q.dead_letter_count(), 1);
+    }
+
+    #[test]
+    fn delete_within_allowance_avoids_the_dlq() {
+        let mut q: SqsQueue<String> =
+            SqsQueue::new(SimDuration::from_secs(10.0)).with_max_receive_count(2);
+        q.send("ok".into());
+        let _ = q.receive(t(0.0)).unwrap();
+        let (_, r2, _) = q.receive(t(11.0)).unwrap();
+        q.delete(r2).unwrap();
+        assert!(q.receive(t(100.0)).is_none());
+        assert_eq!(q.dead_letter_count(), 0);
+    }
+
+    #[test]
+    fn force_visible_models_duplicate_delivery() {
+        let mut q = queue();
+        q.send("a".into());
+        let (_, r1, c1) = q.receive(t(0.0)).unwrap();
+        assert_eq!(c1, 1);
+        q.force_visible(r1).unwrap();
+        // Duplicate delivery while the first consumer still works on it.
+        let (_, r2, c2) = q.receive(t(1.0)).unwrap();
+        assert_eq!(c2, 2);
+        // First receipt is now stale; second consumer's delete wins.
+        assert!(q.delete(r1).is_err());
+        q.delete(r2).unwrap();
+        assert_eq!(q.pending_count(), 0);
     }
 
     #[test]

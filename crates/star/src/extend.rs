@@ -72,6 +72,10 @@ pub fn extend_chain(
     let mut mismatches = 0u32;
     let mut junctions = Vec::new();
     let mut splice_penalty = 0i32;
+    // Length of the M run accumulating toward the next cigar push. Signed because a
+    // splice split may shift into the flanking seeds (see `best_split`); it is
+    // always positive at push time.
+    let mut m_run: i64;
 
     // --- Left end extension ---------------------------------------------------
     let first = &seeds[0];
@@ -105,11 +109,11 @@ pub fn extend_chain(
     if left_clip > 0 {
         cigar.push(CigarOp::S(left_clip as u32));
     }
-    let mut m_run = best_ext as u32; // accumulates into M ops
+    m_run = best_ext as i64;
     aligned += best_ext as u32;
 
     // --- Seeds and inner gaps ---------------------------------------------------
-    m_run += first.len;
+    m_run += first.len as i64;
     aligned += first.len;
     for w in seeds.windows(2) {
         let (a, b) = (&w[0], &w[1]);
@@ -128,7 +132,7 @@ pub fn extend_chain(
                 }
             }
             aligned += read_gap as u32;
-            m_run += read_gap as u32;
+            m_run += read_gap as i64;
         } else {
             // Intron: place the splice at the read-gap split minimizing mismatches;
             // ties resolve toward annotated, then canonical junctions (STAR's
@@ -138,12 +142,13 @@ pub fn extend_chain(
             if intron_len as u64 > params.max_intron_len {
                 return None;
             }
-            let (split, mm, class) =
-                best_split(read_codes, codes, genome, sjdb, a, b, read_gap, intron_len);
+            let (split, mm, class) = best_split(
+                read_codes, codes, genome, sjdb, a, b, read_gap, intron_len, m_run - 1,
+            );
             mismatches += mm;
             aligned += read_gap as u32;
-            m_run += split as u32;
-            let intron_start = a.gend() + split as u64;
+            m_run += split;
+            let intron_start = (a.gend() as i64 + split) as u64;
             let intron_end = intron_start + intron_len as u64;
             splice_penalty += match class {
                 SpliceClass::Annotated => params.annotated_splice_penalty,
@@ -151,11 +156,11 @@ pub fn extend_chain(
                 SpliceClass::NonCanonical => params.noncanonical_splice_penalty,
             };
             junctions.push((intron_start, intron_end, class));
-            cigar.push(CigarOp::M(m_run));
+            cigar.push(CigarOp::M(m_run as u32));
             cigar.push(CigarOp::N(intron_len as u32));
-            m_run = (read_gap - split) as u32;
+            m_run = read_gap as i64 - split;
         }
-        m_run += b.len;
+        m_run += b.len as i64;
         aligned += b.len;
     }
 
@@ -186,10 +191,10 @@ pub fn extend_chain(
         }
         mismatches += mm_at.iter().filter(|&&i| i <= best_ext_r).count() as u32;
     }
-    m_run += best_ext_r as u32;
+    m_run += best_ext_r as i64;
     aligned += best_ext_r as u32;
     if m_run > 0 {
-        cigar.push(CigarOp::M(m_run));
+        cigar.push(CigarOp::M(m_run as u32));
     }
     let right_clip = read_len - last.read_end() as usize - best_ext_r;
     if right_clip > 0 {
@@ -201,11 +206,23 @@ pub fn extend_chain(
     Some(WindowAlignment { gstart, cigar, score, aligned, mismatches, junctions })
 }
 
+/// Bound on how far a splice split may shift into the flanking seeds.
+const MAX_SJ_SHIFT: i64 = 8;
+
 /// Choose where to split the `read_gap` bases around an intron between seeds `a` and
 /// `b`: `split` bases align after `a`, the rest before `b`. Minimizes mismatches;
 /// ties resolve toward the split whose junction is annotated, then canonical —
-/// mirroring STAR's sjdb-guided splice placement. Returns (split, mismatches,
-/// junction class).
+/// mirroring STAR's sjdb-guided splice placement.
+///
+/// `split` may be negative or exceed `read_gap`: when the bases flanking an intron
+/// repeat across it, the maximal exact seeds overshoot the true junction and the
+/// annotated split lies *inside* a seed, so candidates up to [`MAX_SJ_SHIFT`] bases
+/// into either seed are also scored (capped by `max_left_shift`, the M run
+/// accumulated left of the gap). Unshifted candidates are scored first, so a shifted
+/// split only wins by strictly better (mismatches, class). Returns (split,
+/// mismatches over the whole search window, junction class); window bases inside the
+/// seeds match exactly under their original placement, so the mismatch count remains
+/// directly comparable with the gap-only search.
 #[allow(clippy::too_many_arguments)]
 fn best_split(
     read_codes: &[u8],
@@ -216,30 +233,41 @@ fn best_split(
     b: &crate::seed::Seed,
     read_gap: usize,
     intron_len: usize,
-) -> (usize, u32, SpliceClass) {
+    max_left_shift: i64,
+) -> (i64, u32, SpliceClass) {
     let class_rank = |c: SpliceClass| match c {
         SpliceClass::Annotated => 0u8,
         SpliceClass::Canonical => 1,
         SpliceClass::NonCanonical => 2,
     };
-    let mut best: Option<(usize, u32, SpliceClass)> = None;
-    for split in 0..=read_gap {
+    let shift_a = MAX_SJ_SHIFT.min(max_left_shift).min(intron_len as i64).max(0);
+    let shift_b = MAX_SJ_SHIFT.min(b.len as i64 - 1).min(intron_len as i64).max(0);
+    let mut order: Vec<i64> = (0..=read_gap as i64).collect();
+    for k in 1..=MAX_SJ_SHIFT {
+        if k <= shift_a {
+            order.push(-k);
+        }
+        if k <= shift_b {
+            order.push(read_gap as i64 + k);
+        }
+    }
+    // Mismatches are counted over the same read window for every candidate: the gap
+    // plus the shiftable margins of both seeds.
+    let win_lo = a.read_end() as i64 - shift_a;
+    let win_hi = b.read_pos as i64 + shift_b; // exclusive
+    let left_off = a.gend() as i64 - a.read_end() as i64;
+    let right_off = b.gpos as i64 - b.read_pos as i64;
+    let mut best: Option<(i64, u32, SpliceClass)> = None;
+    for &split in &order {
+        let junction = a.read_end() as i64 + split;
         let mut mm = 0u32;
-        // Left part: after seed a.
-        for i in 0..split {
-            if read_codes[a.read_end() as usize + i] != codes[a.gend() as usize + i] {
+        for x in win_lo..win_hi {
+            let off = if x < junction { left_off } else { right_off };
+            if read_codes[x as usize] != codes[(x + off) as usize] {
                 mm += 1;
             }
         }
-        // Right part: immediately before seed b.
-        for i in 0..read_gap - split {
-            let r = read_codes[b.read_pos as usize - 1 - i];
-            let g = codes[b.gpos as usize - 1 - i];
-            if r != g {
-                mm += 1;
-            }
-        }
-        let intron_start = a.gend() + split as u64;
+        let intron_start = (a.gend() as i64 + split) as u64;
         let class = sjdb.classify(genome, intron_start, intron_start + intron_len as u64);
         let better = match best {
             None => true,

@@ -1,0 +1,292 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the `Criterion`/`BenchmarkGroup`/`Bencher` surface the workspace's
+//! benches use, timing each benchmark with `std::time::Instant` over a bounded
+//! number of iterations and printing one line per benchmark:
+//!
+//! ```text
+//! bench <group>/<id>: mean 1.234ms over 10 iters (thrpt 8104.2 elem/s)
+//! ```
+//!
+//! No statistical analysis or plots — this exists so `cargo bench` runs offline
+//! and produces comparable wall-clock numbers. When `BENCH_JSON_DIR` is set,
+//! each group additionally writes `BENCH_<group>.json` there so successive runs
+//! can track a trajectory.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the configured iterations, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+}
+
+/// One benchmark's measurement, kept for the JSON trajectory file.
+struct BenchResult {
+    id: String,
+    mean_secs: f64,
+    iters: u64,
+    throughput_per_sec: Option<f64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration count per benchmark (criterion's sample count analogue).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Set measurement time; accepted and ignored by the shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate throughput for the following benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark with an input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let iters = self.sample_size.clamp(1, self.criterion.max_iters);
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+        let per_sec = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                Some(n as f64 / mean)
+            }
+            _ => None,
+        };
+        let thrpt = match (self.throughput, per_sec) {
+            (Some(Throughput::Elements(_)), Some(r)) => format!(" (thrpt {r:.1} elem/s)"),
+            (Some(Throughput::Bytes(_)), Some(r)) => {
+                format!(" (thrpt {:.1} MiB/s)", r / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("bench {}/{id}: mean {:.6}s over {iters} iters{thrpt}", self.name, mean);
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            mean_secs: mean,
+            iters,
+            throughput_per_sec: per_sec,
+        });
+    }
+
+    /// Finish the group. With `BENCH_JSON_DIR` set, write the group's results to
+    /// `BENCH_<group>.json` in that directory (best effort; benches never fail
+    /// on trajectory I/O).
+    pub fn finish(self) {
+        let Ok(dir) = std::env::var("BENCH_JSON_DIR") else { return };
+        if dir.is_empty() || self.results.is_empty() {
+            return;
+        }
+        let mut json = format!("{{\"group\":{:?},\"results\":[", self.name);
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "{{\"id\":{:?},\"mean_secs\":{:.9},\"iters\":{}",
+                r.id, r.mean_secs, r.iters
+            );
+            if let Some(t) = r.throughput_per_sec {
+                let _ = write!(json, ",\"throughput_per_sec\":{t:.3}");
+            }
+            json.push('}');
+        }
+        json.push_str("]}\n");
+        let slug: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{slug}.json"));
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, json);
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline benches bounded: honoring criterion's default 100 samples
+        // on multi-second fixtures would take hours.
+        Criterion { max_iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            sample_size: self.max_iters,
+            criterion: self,
+            name,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        group.finish();
+        self
+    }
+
+    /// Mirror of criterion's config hook; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(calls, 3, "sample_size(3) must run exactly 3 iterations");
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("a", 5).to_string(), "a/5");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline shim for `rayon`.
+//!
+//! Exposes the parallel-iterator surface this workspace uses (`par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_sort_unstable_by_key`, `ThreadPool`)
+//! executing everything sequentially on the calling thread. Sequential execution is
+//! a legal schedule of any data-parallel program, so all results are identical;
+//! only wall-clock parallel speedups are lost.
+
+use std::fmt;
+
+/// Consuming conversion into a "parallel" iterator (sequential here).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Convert into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing conversion: `par_iter`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type.
+    type Item: 'data;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutably borrowing conversion: `par_iter_mut`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type.
+    type Item: 'data;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate by mutable reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Parallel sort methods on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Unstable sort by key (sequential here).
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+
+    /// Unstable sort by comparator (sequential here).
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+        self.sort_unstable_by(f);
+    }
+}
+
+pub mod prelude {
+    //! The traits, mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceMut,
+    };
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. Never actually produced by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that runs closures inline on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` (inline; a sequential schedule of the parallel program).
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        op()
+    }
+
+    /// The configured thread count (advisory only in the shim).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request a thread count (recorded, not enforced).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: if self.threads == 0 { 1 } else { self.threads } })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_mut_and_sort() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        v.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(v, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline shim for `serde`.
+//!
+//! This workspace derives the serde traits for API-compatibility with downstream
+//! users but never drives an actual serializer, so the traits here are markers with
+//! blanket implementations and the derives (see the sibling `serde_derive` shim)
+//! expand to nothing. Code that bounds on `T: Serialize` still compiles and runs.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization-side re-exports.
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization-side re-exports.
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

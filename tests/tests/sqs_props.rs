@@ -1,0 +1,155 @@
+//! Property-based tests of the SQS queue's at-least-once delivery contract.
+//!
+//! A shadow model tracks, per message, the delivery count, the earliest legal
+//! redelivery time, and whether it was deleted. Arbitrary interleavings of
+//! receive / delete / extend / force-visible / clock-advance operations must
+//! uphold the broker invariants:
+//!
+//! 1. conservation — every message is pending, deleted, or dead-lettered;
+//! 2. visibility — an in-flight message is never redelivered before its lease
+//!    expires (unless a duplicate delivery was forced);
+//! 3. deleted messages are never delivered again;
+//! 4. a message dead-letters only after exactly `max_receive_count` deliveries,
+//!    and is never delivered beyond that allowance.
+
+use cloudsim::sqs::ReceiptHandle;
+use cloudsim::{SimDuration, SimTime, SqsQueue};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const VISIBILITY_SECS: f64 = 30.0;
+const MAX_RECEIVE: u32 = 3;
+
+/// One scripted broker operation; indices are reduced modulo live collections.
+#[derive(Clone, Debug)]
+enum Op {
+    Receive,
+    Delete(usize),
+    Extend(usize, f64),
+    ForceVisible(usize),
+    Advance(f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Receive),
+        2 => (0usize..8).prop_map(Op::Delete),
+        1 => (0usize..8, 1.0f64..60.0).prop_map(|(i, d)| Op::Extend(i, d)),
+        1 => (0usize..8).prop_map(Op::ForceVisible),
+        3 => (1.0f64..40.0).prop_map(Op::Advance),
+    ]
+}
+
+/// Shadow state for one message body.
+#[derive(Default)]
+struct Shadow {
+    deliveries: u32,
+    /// Earliest time the broker may legally hand the message out again.
+    not_before: f64,
+    /// Set when a forced duplicate makes an early redelivery legal.
+    dup_forced: bool,
+    deleted: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn queue_upholds_at_least_once_invariants(
+        n_msgs in 1usize..8,
+        ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut q: SqsQueue<u32> =
+            SqsQueue::new(SimDuration::from_secs(VISIBILITY_SECS)).with_max_receive_count(MAX_RECEIVE);
+        let mut shadow: HashMap<u32, Shadow> = HashMap::new();
+        for m in 0..n_msgs as u32 {
+            q.send(m);
+            shadow.insert(m, Shadow::default());
+        }
+        let mut now = 0.0f64;
+        let mut receipts: Vec<(ReceiptHandle, u32)> = Vec::new();
+        let mut deleted_count = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Advance(d) => now += d,
+                Op::Receive => {
+                    let before_dead: HashSet<u32> =
+                        q.dead_letters().iter().copied().collect();
+                    if let Some((body, receipt, count)) = q.receive(SimTime::from_secs(now)) {
+                        let s = shadow.get_mut(&body).unwrap();
+                        // Invariant 3: deleted messages stay deleted.
+                        prop_assert!(!s.deleted, "deleted message {body} redelivered");
+                        // Invariant 2: leases are honored unless a duplicate was forced.
+                        prop_assert!(
+                            s.dup_forced || now >= s.not_before,
+                            "message {body} delivered at {now} before its lease expires at {}",
+                            s.not_before
+                        );
+                        // Invariant 4: the delivery allowance is never exceeded.
+                        prop_assert!(count <= MAX_RECEIVE, "message {body} over-delivered");
+                        s.deliveries += 1;
+                        prop_assert_eq!(count, s.deliveries, "broker and shadow disagree");
+                        s.not_before = now + VISIBILITY_SECS;
+                        s.dup_forced = false;
+                        receipts.push((receipt, body));
+                    }
+                    // Invariant 4: anything that dead-lettered during this receive
+                    // had exhausted its allowance without ever being deleted.
+                    for &d in q.dead_letters() {
+                        if !before_dead.contains(&d) {
+                            let s = &shadow[&d];
+                            prop_assert_eq!(s.deliveries, MAX_RECEIVE, "{} dead-lettered early", d);
+                            prop_assert!(!s.deleted, "deleted message {} dead-lettered", d);
+                        }
+                    }
+                }
+                Op::Delete(i) => {
+                    if receipts.is_empty() {
+                        continue;
+                    }
+                    let (receipt, body) = receipts.remove(i % receipts.len());
+                    if q.delete(receipt).is_ok() {
+                        shadow.get_mut(&body).unwrap().deleted = true;
+                        deleted_count += 1;
+                    }
+                }
+                Op::Extend(i, d) => {
+                    if receipts.is_empty() {
+                        continue;
+                    }
+                    let (receipt, body) = receipts[i % receipts.len()];
+                    if q.change_visibility(receipt, SimTime::from_secs(now), SimDuration::from_secs(d)).is_ok() {
+                        shadow.get_mut(&body).unwrap().not_before = now + d;
+                    }
+                }
+                Op::ForceVisible(i) => {
+                    if receipts.is_empty() {
+                        continue;
+                    }
+                    let (receipt, body) = receipts[i % receipts.len()];
+                    if q.force_visible(receipt).is_ok() {
+                        shadow.get_mut(&body).unwrap().dup_forced = true;
+                    }
+                }
+            }
+            // Invariant 1: conservation after every operation.
+            prop_assert_eq!(
+                deleted_count + q.dead_letter_count() + q.pending_count(),
+                n_msgs,
+                "message lost or double-counted at t={}", now
+            );
+        }
+
+        // Drain the queue far in the future: everything left either delivers
+        // within its remaining allowance or dead-letters; nothing vanishes.
+        let far = SimTime::from_secs(now + 1e7);
+        let mut drained = 0usize;
+        while let Some((body, receipt, _)) = q.receive(far) {
+            prop_assert!(!shadow[&body].deleted);
+            q.delete(receipt).unwrap();
+            drained += 1;
+        }
+        prop_assert_eq!(deleted_count + drained + q.dead_letter_count(), n_msgs);
+    }
+}
