@@ -5,4 +5,7 @@ cd "$(dirname "$0")"
 
 cargo build --release --offline
 cargo test -q --release --offline --no-fail-fast
+# Telemetry schema is a published contract: pin it against the committed golden
+# explicitly so drift fails loudly even when the suite above is filtered.
+cargo test -q --release --offline -p telemetry schema_matches_golden
 cargo clippy --offline -- -D warnings

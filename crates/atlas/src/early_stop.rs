@@ -101,6 +101,18 @@ impl EarlyStopAccounting {
     pub fn saved_secs(&self) -> f64 {
         (self.projected_full_secs - self.actual_secs).max(0.0)
     }
+
+    /// Structured fields for the telemetry `early_stop` decision event.
+    pub fn decision_fields(&self) -> Vec<(&'static str, telemetry::JsonValue)> {
+        vec![
+            ("stopped", self.stopped.into()),
+            ("processed_reads", self.processed_reads.into()),
+            ("total_reads", self.total_reads.into()),
+            ("actual_secs", self.actual_secs.into()),
+            ("projected_full_secs", self.projected_full_secs.into()),
+            ("saved_secs", self.saved_secs().into()),
+        ]
+    }
 }
 
 /// Aggregate over a campaign — the totals quoted in §III-B (38/1000 runs, 30.4 h of

@@ -39,6 +39,7 @@ use cloudsim::{
 };
 use deseq_norm::{CountsMatrix, NormalizedMatrix};
 use star_aligner::quant::Strandedness;
+use telemetry::{CampaignTelemetry, JsonValue, Recorder, SpanId, RATE_BUCKETS, SECS_BUCKETS};
 
 /// Campaign configuration.
 #[derive(Clone, Debug)]
@@ -75,6 +76,9 @@ pub struct CampaignConfig {
     /// Deliveries allowed per message before it moves to the dead-letter queue
     /// (`None` = redeliver forever, the pre-DLQ behavior).
     pub max_receive_count: Option<u32>,
+    /// Record sim-time telemetry (spans, metrics, event log). Disabling swaps in
+    /// a no-op recorder; campaign outcomes are identical either way.
+    pub telemetry: bool,
 }
 
 impl CampaignConfig {
@@ -96,6 +100,7 @@ impl CampaignConfig {
             faults: None,
             retry: RetryPolicy::default(),
             max_receive_count: None,
+            telemetry: true,
         }
     }
 
@@ -181,6 +186,11 @@ pub struct CampaignReport {
     /// labeled slice of already-charged time, mirrored into
     /// [`CostReport::wasted_usd`].
     pub wasted_compute_secs: f64,
+    /// Sim-time telemetry: span tree, metrics, event log and critical-path
+    /// breakdown (`None` when [`CampaignConfig::telemetry`] is off). Excluded
+    /// from [`CampaignReport::summary_digest`]; its own determinism is covered
+    /// by the telemetry replay test.
+    pub telemetry: Option<CampaignTelemetry>,
 }
 
 impl CampaignReport {
@@ -244,7 +254,7 @@ enum Event {
         result: Box<PipelineResult>,
     },
     Interruption(InstanceId),
-    WorkerCrash { instance: InstanceId, epoch: u64, wasted_secs: f64 },
+    WorkerCrash { instance: InstanceId, epoch: u64, accession: String, wasted_secs: f64 },
     ScaleTick,
 }
 
@@ -283,6 +293,15 @@ impl Orchestrator {
         let mut instance_serial = 0u64;
         let mut serials: HashMap<InstanceId, u64> = HashMap::new();
         let mut injector = FaultInjector::new(cfg.faults.clone().unwrap_or_default());
+        // Telemetry is strictly an observer: fault decisions, scaling and the
+        // event clock never read it, so a disabled recorder changes nothing.
+        let recorder =
+            Arc::new(if cfg.telemetry { Recorder::new() } else { Recorder::disabled() });
+        injector.attach_recorder(Arc::clone(&recorder));
+        asg.attach_recorder(Arc::clone(&recorder));
+        let campaign_span = recorder.span_start("campaign", SpanId::NONE, 0.0);
+        let mut instance_spans: HashMap<InstanceId, SpanId> = HashMap::new();
+        let mut dl_seen = 0usize;
         let mut store = ObjectStore::new();
         // Small sentinel for the index manifest: instances GET it at init, so a
         // persistent S3 outage can fail a launch. The bulk index transfer time
@@ -326,16 +345,38 @@ impl Orchestrator {
             if n_events > max_events {
                 return Err(AtlasError::InvalidParams("event budget exceeded (simulation bug)".into()));
             }
+            injector.set_now(now.as_secs());
 
             match event {
                 Event::ScaleTick => {
                     let pending = sqs.pending_count();
                     let decision = asg.evaluate(pending);
+                    if decision.launch > 0 {
+                        recorder.event(
+                            now.as_secs(),
+                            "scale_out",
+                            vec![
+                                ("launch", JsonValue::from(decision.launch as u64)),
+                                ("pending", JsonValue::from(pending)),
+                            ],
+                        );
+                    }
                     for _ in 0..decision.launch {
                         let id = asg.launch(now);
-                        fleet_series.record(now, asg.active_count() as f64);
+                        fleet_series.record(now.as_secs(), asg.active_count() as f64);
                         instance_serial += 1;
                         serials.insert(id, instance_serial);
+                        let span = recorder.span_start_attrs(
+                            "instance",
+                            campaign_span,
+                            now.as_secs(),
+                            &[
+                                ("instance", id.0.to_string()),
+                                ("itype", cfg.instance_type.name.to_string()),
+                                ("spot", cfg.spot.to_string()),
+                            ],
+                        );
+                        instance_spans.insert(id, span);
                         // Init starts with the manifest GET; a persistent S3
                         // failure kills the launch and the ASG replaces the
                         // instance at a later tick.
@@ -352,7 +393,15 @@ impl Orchestrator {
                                 if let Some(inst) = asg.instance_mut(id) {
                                     inst.terminate(now);
                                 }
-                                fleet_series.record(now, asg.active_count() as f64);
+                                if let Some(s) = instance_spans.remove(&id) {
+                                    recorder.span_end(s, now.as_secs());
+                                }
+                                recorder.event(
+                                    now.as_secs(),
+                                    "instance_init_failed",
+                                    vec![("instance", JsonValue::from(id.0))],
+                                );
+                                fleet_series.record(now.as_secs(), asg.active_count() as f64);
                             }
                         }
                         if cfg.spot {
@@ -371,7 +420,18 @@ impl Orchestrator {
                         if !busy.contains_key(&id) {
                             if let Some(inst) = asg.instance_mut(id) {
                                 inst.terminate(now);
-                                fleet_series.record(now, asg.active_count() as f64);
+                                fleet_series.record(now.as_secs(), asg.active_count() as f64);
+                                if let Some(s) = instance_spans.remove(&id) {
+                                    recorder.span_end(s, now.as_secs());
+                                }
+                                recorder.event(
+                                    now.as_secs(),
+                                    "scale_in",
+                                    vec![
+                                        ("instance", JsonValue::from(id.0)),
+                                        ("pending", JsonValue::from(pending)),
+                                    ],
+                                );
                             }
                         }
                     }
@@ -380,8 +440,10 @@ impl Orchestrator {
                         active_instances: asg.active_count(),
                         pending_messages: pending,
                     });
-                    fleet_series.record(now, asg.active_count() as f64);
-                    busy_series.record(now, busy.len() as f64);
+                    fleet_series.record(now.as_secs(), asg.active_count() as f64);
+                    busy_series.record(now.as_secs(), busy.len() as f64);
+                    recorder.gauge_set("fleet_active", asg.active_count() as f64);
+                    recorder.gauge_set("queue_pending", pending as f64);
                     if resolved(&results, &sqs) < target {
                         events.schedule(now + cfg.scale_tick, Event::ScaleTick);
                     }
@@ -390,6 +452,11 @@ impl Orchestrator {
                     if let Some(inst) = asg.instance_mut(id) {
                         if inst.state == InstanceState::Initializing {
                             inst.mark_running().map_err(AtlasError::Cloud)?;
+                            recorder.event(
+                                now.as_secs(),
+                                "instance_ready",
+                                vec![("instance", JsonValue::from(id.0))],
+                            );
                             events.schedule(now, Event::Poll(id));
                         }
                     }
@@ -419,14 +486,49 @@ impl Orchestrator {
                             continue;
                         }
                     };
+                    // A receive can tip a message over its allowance into the DLQ.
+                    for a in sqs.dead_letters().iter().skip(dl_seen) {
+                        recorder.event(
+                            now.as_secs(),
+                            "dead_letter",
+                            vec![("accession", JsonValue::from(a.as_str()))],
+                        );
+                        recorder.counter_add("dead_letters", 1);
+                    }
+                    dl_seen = sqs.dead_letters().len();
                     match msg {
                         Some((accession, receipt, count)) => {
                             if count > 1 {
                                 redeliveries += 1;
+                                recorder.counter_add("redeliveries", 1);
+                            } else if let Some(wait) = sqs.queue_wait(receipt) {
+                                // First delivery: submit → first-receive latency.
+                                recorder.event(
+                                    now.as_secs(),
+                                    "queue_wait",
+                                    vec![
+                                        ("accession", JsonValue::from(accession.as_str())),
+                                        ("instance", JsonValue::from(id.0)),
+                                        ("wait_secs", JsonValue::from(wait.as_secs())),
+                                    ],
+                                );
+                                recorder.observe(
+                                    "queue_wait_secs",
+                                    SECS_BUCKETS,
+                                    wait.as_secs(),
+                                );
                             }
                             if results.contains_key(&accession) {
                                 // A duplicate delivery of already-finished work:
                                 // acknowledge and poll again immediately.
+                                recorder.event(
+                                    now.as_secs(),
+                                    "duplicate_receive",
+                                    vec![
+                                        ("accession", JsonValue::from(accession.as_str())),
+                                        ("instance", JsonValue::from(id.0)),
+                                    ],
+                                );
                                 let _ = injector
                                     .with_retry(serial, FaultOp::SqsDelete, &cfg.retry, || {
                                         sqs.delete(receipt)
@@ -440,7 +542,7 @@ impl Orchestrator {
                             let epoch = next_epoch;
                             next_epoch += 1;
                             busy.insert(id, epoch);
-                            busy_series.record(now, busy.len() as f64);
+                            busy_series.record(now.as_secs(), busy.len() as f64);
                             // A failed or stale lease extension leaves the base
                             // visibility timeout in force: the message may
                             // re-deliver mid-job and the duplicate completion is
@@ -476,6 +578,7 @@ impl Orchestrator {
                                     Event::WorkerCrash {
                                         instance: id,
                                         epoch,
+                                        accession: accession.clone(),
                                         wasted_secs: offset,
                                     },
                                 );
@@ -513,9 +616,14 @@ impl Orchestrator {
                         continue;
                     }
                     busy.remove(&instance);
-                    busy_series.record(now, busy.len() as f64);
+                    busy_series.record(now.as_secs(), busy.len() as f64);
                     let serial = serials.get(&instance).copied().unwrap_or(0);
                     let duration = result.stage_secs.total();
+                    // Job spans are emitted retroactively: the job started when the
+                    // message was received, `duration` sim-seconds ago.
+                    let started = now.as_secs() - duration;
+                    let job_parent =
+                        instance_spans.get(&instance).copied().unwrap_or(campaign_span);
                     let upload = store.put_retrying(
                         &format!("results/{accession}"),
                         Bytes::from(accession.as_bytes().to_vec()),
@@ -536,9 +644,41 @@ impl Orchestrator {
                             if let std::collections::btree_map::Entry::Vacant(slot) =
                                 results.entry(accession.clone())
                             {
+                                emit_job_spans(
+                                    &recorder, job_parent, &accession, instance, started,
+                                    now.as_secs(), "ok", &result,
+                                );
+                                recorder.counter_add("jobs_completed", 1);
+                                recorder.observe(
+                                    "align_secs_per_accession",
+                                    SECS_BUCKETS,
+                                    result.stage_secs.align_secs,
+                                );
+                                if result.early_stopped() {
+                                    // The decision landed at the end of the (cut
+                                    // short) align stage.
+                                    let decided_at = started
+                                        + result.stage_secs.prefix_secs(2)
+                                        + result.stage_secs.align_secs;
+                                    let mut fields = vec![
+                                        ("accession", JsonValue::from(accession.as_str())),
+                                        ("mapping_rate", JsonValue::from(result.mapping_rate)),
+                                    ];
+                                    fields.extend(result.early_stop.decision_fields());
+                                    recorder.event(decided_at, "early_stop", fields);
+                                    recorder.observe(
+                                        "mapping_rate_at_stop",
+                                        RATE_BUCKETS,
+                                        result.mapping_rate,
+                                    );
+                                }
                                 completion_order.push(accession);
                                 slot.insert(*result);
                             } else {
+                                emit_job_spans(
+                                    &recorder, job_parent, &accession, instance, started,
+                                    now.as_secs(), "duplicate", &result,
+                                );
                                 duplicate_completions += 1;
                                 wasted_secs += duration;
                             }
@@ -548,18 +688,51 @@ impl Orchestrator {
                             // Result upload exhausted its retries: the job's output
                             // is lost and the message re-delivers after its lease
                             // expires, so another worker redoes the work.
+                            emit_job_spans(
+                                &recorder, job_parent, &accession, instance, started,
+                                now.as_secs(), "upload_lost", &result,
+                            );
+                            recorder.event(
+                                now.as_secs(),
+                                "upload_lost",
+                                vec![
+                                    ("accession", JsonValue::from(accession.as_str())),
+                                    ("instance", JsonValue::from(instance.0)),
+                                ],
+                            );
                             wasted_secs += duration;
                             events.schedule(now + cfg.poll_interval, Event::Poll(instance));
                         }
                     }
                 }
-                Event::WorkerCrash { instance, epoch, wasted_secs: w } => {
+                Event::WorkerCrash { instance, epoch, accession, wasted_secs: w } => {
                     // The worker process dies mid-job (the instance survives and
                     // re-polls); the in-flight message re-delivers after its lease
                     // expires. A stale epoch means the job already finished.
                     if busy.get(&instance) == Some(&epoch) {
                         busy.remove(&instance);
-                        busy_series.record(now, busy.len() as f64);
+                        busy_series.record(now.as_secs(), busy.len() as f64);
+                        let parent =
+                            instance_spans.get(&instance).copied().unwrap_or(campaign_span);
+                        recorder.span_closed(
+                            "job",
+                            parent,
+                            now.as_secs() - w,
+                            now.as_secs(),
+                            &[
+                                ("accession", accession.clone()),
+                                ("outcome", "crashed".to_string()),
+                            ],
+                        );
+                        recorder.event(
+                            now.as_secs(),
+                            "worker_crash",
+                            vec![
+                                ("accession", JsonValue::from(accession.as_str())),
+                                ("instance", JsonValue::from(instance.0)),
+                                ("wasted_secs", JsonValue::from(w)),
+                            ],
+                        );
                         wasted_secs += w;
                         events.schedule(now + cfg.poll_interval, Event::Poll(instance));
                     }
@@ -569,9 +742,21 @@ impl Orchestrator {
                         if inst.state != InstanceState::Terminated {
                             interruptions += 1;
                             inst.terminate(now);
-                            busy.remove(&id);
-                            fleet_series.record(now, asg.active_count() as f64);
-                            busy_series.record(now, busy.len() as f64);
+                            let was_busy = busy.remove(&id).is_some();
+                            fleet_series.record(now.as_secs(), asg.active_count() as f64);
+                            busy_series.record(now.as_secs(), busy.len() as f64);
+                            if let Some(s) = instance_spans.remove(&id) {
+                                recorder.span_end(s, now.as_secs());
+                            }
+                            recorder.event(
+                                now.as_secs(),
+                                "spot_interruption",
+                                vec![
+                                    ("instance", JsonValue::from(id.0)),
+                                    ("was_busy", JsonValue::from(was_busy)),
+                                ],
+                            );
+                            recorder.counter_add("spot_interruptions", 1);
                         }
                     }
                 }
@@ -587,6 +772,9 @@ impl Orchestrator {
         for id in ids {
             if let Some(inst) = asg.instance_mut(id) {
                 inst.terminate(end);
+            }
+            if let Some(s) = instance_spans.remove(&id) {
+                recorder.span_end(s, end.as_secs());
             }
         }
         for inst in asg.instances() {
@@ -617,9 +805,9 @@ impl Orchestrator {
             )));
         }
 
-        let fleet_instance_secs = fleet_series.integral_until(end);
-        let busy_instance_secs = busy_series.integral_until(end);
-        let mean_fleet_size = fleet_series.time_weighted_mean(end);
+        let fleet_instance_secs = fleet_series.integral_until(end.as_secs());
+        let busy_instance_secs = busy_series.integral_until(end.as_secs());
+        let mean_fleet_size = fleet_series.time_weighted_mean(end.as_secs());
         let busy_fraction =
             if fleet_instance_secs > 0.0 { busy_instance_secs / fleet_instance_secs } else { 0.0 };
 
@@ -632,6 +820,17 @@ impl Orchestrator {
             savings.add(&r.early_stop);
         }
         let normalized = build_normalized(&ordered);
+        if let Some(n) = &normalized {
+            let attrs = n.span_attrs();
+            recorder.span_closed("deseq", campaign_span, end.as_secs(), end.as_secs(), &attrs);
+            recorder.event(
+                end.as_secs(),
+                "deseq_normalized",
+                attrs.iter().map(|(k, v)| (*k, JsonValue::from(v.as_str()))).collect(),
+            );
+        }
+        recorder.span_end(campaign_span, end.as_secs());
+        let campaign_telemetry = cfg.telemetry.then(|| telemetry::summarize(&recorder));
 
         Ok(CampaignReport {
             completed: ordered,
@@ -650,7 +849,54 @@ impl Orchestrator {
             fault_counters: injector.tallies().clone(),
             duplicate_completions,
             wasted_compute_secs: wasted_secs,
+            telemetry: campaign_telemetry,
         })
+    }
+}
+
+/// Retroactively emit the span tree of one finished job: the `job` span covering
+/// `[started, ended]`, its four pipeline-stage children, and the align stage's
+/// seed/stitch/extend grandchildren (split by measured work units). Only spans
+/// with `outcome == "ok"` feed [`telemetry::summarize`]'s stage statistics.
+#[allow(clippy::too_many_arguments)]
+fn emit_job_spans(
+    recorder: &Recorder,
+    parent: SpanId,
+    accession: &str,
+    instance: InstanceId,
+    started: f64,
+    ended: f64,
+    outcome: &str,
+    result: &PipelineResult,
+) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let job = recorder.span_closed(
+        "job",
+        parent,
+        started,
+        ended,
+        &[
+            ("accession", accession.to_string()),
+            ("instance", instance.0.to_string()),
+            ("outcome", outcome.to_string()),
+            ("strategy", format!("{:?}", result.strategy)),
+            ("mapping_rate", format!("{:.6}", result.mapping_rate)),
+        ],
+    );
+    if outcome != "ok" {
+        return; // duplicates/lost uploads are leaf spans: wasted, undifferentiated time
+    }
+    for (name, s, e) in result.stage_spans() {
+        let attrs: &[(&str, String)] =
+            if name == "fasterq-dump" { &result.dump_attrs } else { &[] };
+        let stage = recorder.span_closed(name, job, started + s, started + e, attrs);
+        if name == "align" {
+            for (phase, ps, pe) in result.align_phase_spans() {
+                recorder.span_closed(phase, stage, started + ps, started + pe, &[]);
+            }
+        }
     }
 }
 

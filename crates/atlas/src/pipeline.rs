@@ -24,7 +24,7 @@ use sra_sim::prefetch::NetworkModel;
 use sra_sim::{FasterqDump, SraRepository};
 use star_aligner::quant::GeneCounts;
 use star_aligner::runner::{RunConfig, RunStatus, Runner};
-use star_aligner::{AlignParams, StarIndex};
+use star_aligner::{AlignParams, PhaseWork, StarIndex};
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -131,12 +131,49 @@ pub struct PipelineResult {
     pub reads_input: u64,
     /// Wall-clock seconds the alignment actually took on this machine.
     pub measured_align_secs: f64,
+    /// Per-phase alignment work units (seed/stitch/extend), used to split the
+    /// align span into sub-stages on the telemetry timeline.
+    pub phase_work: PhaseWork,
+    /// `fasterq-dump` stage attributes (spots, bytes, layout) for telemetry.
+    pub dump_attrs: Vec<(&'static str, String)>,
 }
 
 impl PipelineResult {
     /// Did early stopping abort this accession?
     pub fn early_stopped(&self) -> bool {
         matches!(self.status, RunStatus::EarlyStopped { .. })
+    }
+
+    /// Per-stage `(name, start, end)` offsets from job start, in execution order.
+    /// Used to emit stage spans under a job span on the telemetry timeline.
+    pub fn stage_spans(&self) -> Vec<(&'static str, f64, f64)> {
+        let durations = self.stage_secs.as_array();
+        StageTimes::STAGE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let start = self.stage_secs.prefix_secs(i);
+                (*name, start, start + durations[i])
+            })
+            .collect()
+    }
+
+    /// Align sub-stage `(name, start, end)` offsets from job start: the align
+    /// stage split proportional to the seed/stitch/extend work-unit counts.
+    /// Empty when no alignment work was recorded. Boundaries are monotone and
+    /// the last end lands exactly on the align stage's end.
+    pub fn align_phase_spans(&self) -> Vec<(&'static str, f64, f64)> {
+        const ALIGN_STAGE: usize = 2;
+        debug_assert_eq!(StageTimes::STAGE_NAMES[ALIGN_STAGE], "align");
+        if self.phase_work.total() == 0 || self.stage_secs.align_secs <= 0.0 {
+            return Vec::new();
+        }
+        let start = self.stage_secs.prefix_secs(ALIGN_STAGE);
+        let end = start + self.stage_secs.align_secs;
+        let (f_seed, f_stitch, _) = self.phase_work.fractions();
+        let b1 = (start + self.stage_secs.align_secs * f_seed).min(end);
+        let b2 = (start + self.stage_secs.align_secs * (f_seed + f_stitch)).clamp(b1, end);
+        vec![("seed", start, b1), ("stitch", b1, b2), ("extend", b2, end)]
     }
 }
 
@@ -272,6 +309,8 @@ impl AtlasPipeline {
                 gene_counts: if completed { output.gene_counts } else { None },
                 reads_input: dump.reads.len() as u64,
                 measured_align_secs: output.wall_secs,
+                phase_work: output.phase_work,
+                dump_attrs: dump.span_attrs(),
             },
             output.history,
         ))

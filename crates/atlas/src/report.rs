@@ -219,6 +219,9 @@ pub fn render_campaign(r: &CampaignReport, instance: &str) -> String {
             r.duplicate_completions
         );
     }
+    if let Some(t) = &r.telemetry {
+        out.push_str(&t.render());
+    }
     out
 }
 

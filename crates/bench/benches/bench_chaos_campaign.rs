@@ -70,7 +70,7 @@ fn bench_chaos(c: &mut Criterion) {
     let mut group = c.benchmark_group("chaos_campaign");
     group.sample_size(10);
     group.throughput(Throughput::Elements(n as u64));
-    for (name, plan) in variants {
+    for (name, plan) in variants.clone() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
             b.iter(|| {
                 let orch = Orchestrator::new(Arc::clone(&pipeline), chaos_config(plan.clone()))
@@ -82,6 +82,21 @@ fn bench_chaos(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // One representative run per variant, summarized next to the shim's
+    // BENCH_chaos_campaign.json (no-op without BENCH_JSON_DIR).
+    if std::env::var("BENCH_JSON_DIR").is_ok_and(|d| !d.is_empty()) {
+        let reports: Vec<(&str, _)> = variants
+            .iter()
+            .map(|(name, plan)| {
+                let orch = Orchestrator::new(Arc::clone(&pipeline), chaos_config(plan.clone()))
+                    .expect("orchestrator");
+                (*name, orch.run(&ids).expect("campaign"))
+            })
+            .collect();
+        let refs: Vec<_> = reports.iter().map(|(name, r)| (*name, r)).collect();
+        atlas_bench::write_bench_telemetry("chaos_campaign", &refs);
+    }
 }
 
 criterion_group!(benches, bench_chaos);

@@ -41,8 +41,10 @@ fn bench_campaign(c: &mut Criterion) {
     let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
     let mut group = c.benchmark_group("cloud_campaign");
     group.sample_size(10);
+    let mut fixtures = Vec::new();
     for n in [10usize, 30] {
         let (pipeline, ids) = pipeline_fixture(&sub, n);
+        fixtures.push((n, Arc::clone(&pipeline), ids.clone()));
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &ids, |b, ids| {
             b.iter(|| {
@@ -58,6 +60,24 @@ fn bench_campaign(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // One representative run per workload size, summarized next to the shim's
+    // BENCH_cloud_campaign.json (no-op without BENCH_JSON_DIR).
+    if std::env::var("BENCH_JSON_DIR").is_ok_and(|d| !d.is_empty()) {
+        let reports: Vec<(String, _)> = fixtures
+            .iter()
+            .map(|(n, pipeline, ids)| {
+                let t = InstanceType::by_name("r6a.xlarge").expect("catalog type");
+                let mut cfg = CampaignConfig::new(t, 1 << 20);
+                cfg.scaling =
+                    ScalingPolicy { min_size: 0, max_size: 4, target_backlog_per_instance: 4 };
+                let orch = Orchestrator::new(Arc::clone(pipeline), cfg).expect("orchestrator");
+                (n.to_string(), orch.run(ids).expect("campaign"))
+            })
+            .collect();
+        let refs: Vec<_> = reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
+        atlas_bench::write_bench_telemetry("cloud_campaign", &refs);
+    }
 }
 
 criterion_group!(benches, bench_campaign);

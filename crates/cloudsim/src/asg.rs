@@ -10,6 +10,8 @@ use crate::instance::{Instance, InstanceId, InstanceState, InstanceType};
 use crate::time::SimTime;
 use crate::CloudError;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use telemetry::{JsonValue, Recorder};
 
 /// Scaling policy parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -55,6 +57,8 @@ pub struct AutoScalingGroup {
     spot: bool,
     instances: Vec<Instance>,
     next_id: u64,
+    /// Telemetry sink, when attached. Scaling decisions never depend on it.
+    recorder: Option<Arc<Recorder>>,
 }
 
 /// A scaling decision: how many instances to launch, and which to terminate.
@@ -74,7 +78,19 @@ impl AutoScalingGroup {
         spot: bool,
     ) -> Result<AutoScalingGroup, CloudError> {
         policy.validate()?;
-        Ok(AutoScalingGroup { policy, itype, spot, instances: Vec::new(), next_id: 1 })
+        Ok(AutoScalingGroup {
+            policy,
+            itype,
+            spot,
+            instances: Vec::new(),
+            next_id: 1,
+            recorder: None,
+        })
+    }
+
+    /// Attach a telemetry recorder: launches emit `instance_launch` events.
+    pub fn attach_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// The policy in force.
@@ -130,6 +146,19 @@ impl AutoScalingGroup {
         let id = InstanceId(self.next_id);
         self.next_id += 1;
         self.instances.push(Instance::launch(id, self.itype, self.spot, now));
+        if let Some(rec) = &self.recorder {
+            rec.event(
+                now.as_secs(),
+                "instance_launch",
+                vec![
+                    ("instance", JsonValue::from(id.0)),
+                    ("itype", JsonValue::from(self.itype.name)),
+                    ("spot", JsonValue::from(self.spot)),
+                    ("active", JsonValue::from(self.active_count())),
+                ],
+            );
+            rec.counter_add("instances_launched", 1);
+        }
         id
     }
 }

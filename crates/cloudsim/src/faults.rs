@@ -19,6 +19,8 @@ use crate::time::{SimDuration, SimTime};
 use crate::CloudError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
+use telemetry::{JsonValue, Recorder};
 
 /// Operations that can fail transiently under a [`FaultPlan`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -40,6 +42,19 @@ pub enum FaultOp {
 }
 
 impl FaultOp {
+    /// Stable snake_case name, used in telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::S3Get => "s3_get",
+            FaultOp::S3Put => "s3_put",
+            FaultOp::SqsReceive => "sqs_receive",
+            FaultOp::SqsDelete => "sqs_delete",
+            FaultOp::SqsExtend => "sqs_extend",
+            FaultOp::DuplicateDelivery => "duplicate_delivery",
+            FaultOp::WorkerCrash => "worker_crash",
+        }
+    }
+
     fn tag(self) -> u64 {
         match self {
             FaultOp::S3Get => 1,
@@ -206,6 +221,10 @@ pub struct FaultInjector {
     side_counters: HashMap<(u64, u64), u64>,
     tallies: FaultCounters,
     trace: Vec<FaultEvent>,
+    /// Telemetry sink, when attached. Injection decisions never depend on it.
+    recorder: Option<Arc<Recorder>>,
+    /// Current sim time for emitted events (advanced by the orchestrator loop).
+    now_secs: f64,
 }
 
 impl FaultInjector {
@@ -217,12 +236,34 @@ impl FaultInjector {
             side_counters: HashMap::new(),
             tallies: FaultCounters::default(),
             trace: Vec::new(),
+            recorder: None,
+            now_secs: 0.0,
         }
     }
 
     /// The plan being executed.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Attach a telemetry recorder: injected faults, retries, and exhaustions are
+    /// emitted as structured events from now on.
+    pub fn attach_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Advance the sim clock used to timestamp emitted events.
+    pub fn set_now(&mut self, now_secs: f64) {
+        self.now_secs = now_secs;
+    }
+
+    /// Emit a structured event at the injector's current sim time (no-op without an
+    /// attached recorder). Service models (S3, SQS wrappers) reuse this so their
+    /// events share the injector's clock.
+    pub fn emit(&self, kind: &str, fields: Vec<(&str, JsonValue)>) {
+        if let Some(rec) = &self.recorder {
+            rec.event(self.now_secs, kind, fields);
+        }
     }
 
     /// Injection tallies so far.
@@ -255,6 +296,18 @@ impl FaultInjector {
         if hit {
             self.tallies.count(op);
             self.trace.push(FaultEvent { instance_serial: serial, op, counter });
+            if let Some(rec) = &self.recorder {
+                rec.event(
+                    self.now_secs,
+                    "fault_injected",
+                    vec![
+                        ("op", JsonValue::from(op.name())),
+                        ("instance", JsonValue::from(serial)),
+                        ("counter", JsonValue::from(counter)),
+                    ],
+                );
+                rec.counter_add("faults_injected", 1);
+            }
         }
         hit
     }
@@ -285,6 +338,14 @@ impl FaultInjector {
                 self.tallies.retry_attempts += 1;
                 if attempt == policy.max_attempts {
                     self.tallies.retries_exhausted += 1;
+                    self.emit(
+                        "retries_exhausted",
+                        vec![
+                            ("op", JsonValue::from(op.name())),
+                            ("instance", JsonValue::from(serial)),
+                            ("attempts", JsonValue::from(attempt)),
+                        ],
+                    );
                     return Retried {
                         outcome: Err(CloudError::RetriesExhausted(format!(
                             "{op:?} on instance {serial} after {attempt} attempts"
@@ -297,6 +358,23 @@ impl FaultInjector {
                 let sleep = policy.backoff_after(attempt, u);
                 backoff += sleep;
                 self.tallies.retry_backoff_secs += sleep.as_secs();
+                if let Some(rec) = &self.recorder {
+                    rec.event(
+                        self.now_secs,
+                        "retry",
+                        vec![
+                            ("op", JsonValue::from(op.name())),
+                            ("instance", JsonValue::from(serial)),
+                            ("attempt", JsonValue::from(attempt)),
+                            ("backoff_secs", JsonValue::from(sleep.as_secs())),
+                        ],
+                    );
+                    rec.observe(
+                        "retry_backoff_secs",
+                        &policy.backoff_histogram_bounds(),
+                        sleep.as_secs(),
+                    );
+                }
                 continue;
             }
             return Retried { outcome: f(), attempts: attempt, backoff };
@@ -453,6 +531,31 @@ mod tests {
         });
         assert_eq!(r.attempts, 1, "semantic errors are not retried");
         assert!(matches!(r.outcome, Err(CloudError::StaleReceipt(_))));
+    }
+
+    #[test]
+    fn attached_recorder_sees_faults_and_retries() {
+        let mut inj = FaultInjector::new(plan());
+        let rec = Arc::new(Recorder::new());
+        inj.attach_recorder(Arc::clone(&rec));
+        inj.set_now(42.0);
+        // p = 1.0 on SqsDelete: every attempt faults, so the policy exhausts.
+        let r: Retried<()> =
+            inj.with_retry(3, FaultOp::SqsDelete, &RetryPolicy::default(), || Ok(()));
+        assert!(matches!(r.outcome, Err(CloudError::RetriesExhausted(_))));
+        let log = rec.events_ndjson();
+        assert!(log.contains("\"kind\":\"fault_injected\",\"op\":\"sqs_delete\""), "{log}");
+        assert!(log.contains("\"kind\":\"retry\""), "{log}");
+        assert!(log.contains("\"kind\":\"retries_exhausted\""), "{log}");
+        assert!(log.lines().all(|l| l.starts_with("{\"t\":42,")), "events use set_now time");
+        assert_eq!(rec.metrics().counter("faults_injected"), 4);
+        assert_eq!(rec.metrics().histogram("retry_backoff_secs").unwrap().count(), 3);
+        // Decisions are identical with and without a recorder attached.
+        let mut bare = FaultInjector::new(plan());
+        let b: Retried<()> =
+            bare.with_retry(3, FaultOp::SqsDelete, &RetryPolicy::default(), || Ok(()));
+        assert_eq!(r.attempts, b.attempts);
+        assert_eq!(r.backoff, b.backoff);
     }
 
     #[test]

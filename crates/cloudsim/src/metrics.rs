@@ -1,12 +1,13 @@
-//! Time-series telemetry for simulations.
+//! Campaign metrics: fault tallies, plus the gauge time-series re-export.
 //!
-//! A [`TimeSeries`] records `(time, value)` samples — fleet size, queue depth, busy
-//! workers — and computes the summary statistics campaign reports quote:
-//! time-weighted mean (the right mean for step functions sampled at irregular
-//! ticks), peak, and the integral (e.g. instance-seconds).
+//! [`TimeSeries`] (fleet size, queue depth, busy workers over sim time) moved to
+//! the `telemetry` crate so every layer can record series without depending on the
+//! simulator; it is re-exported here for compatibility. Its timestamps are raw
+//! simulated seconds — pass `SimTime::as_secs()`.
 
-use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+
+pub use telemetry::TimeSeries;
 
 /// Tallies of injected faults and retry activity over a chaos campaign.
 ///
@@ -63,142 +64,19 @@ impl FaultCounters {
     }
 }
 
-/// An append-only series of timestamped gauge samples.
-///
-/// Samples must be appended in non-decreasing time order; the value is treated as a
-/// step function (it holds from its sample time until the next sample).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct TimeSeries {
-    samples: Vec<(f64, f64)>,
-}
-
-impl TimeSeries {
-    /// An empty series.
-    pub fn new() -> TimeSeries {
-        TimeSeries::default()
-    }
-
-    /// Append a sample at `at`. Panics on out-of-order timestamps (a simulation bug).
-    pub fn record(&mut self, at: SimTime, value: f64) {
-        let t = at.as_secs();
-        if let Some(&(prev, _)) = self.samples.last() {
-            assert!(t >= prev, "samples must be time-ordered: {t} < {prev}");
-        }
-        self.samples.push((t, value));
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// True when no samples have been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// The raw samples.
-    pub fn samples(&self) -> &[(f64, f64)] {
-        &self.samples
-    }
-
-    /// Largest sampled value (0 for an empty series).
-    pub fn peak(&self) -> f64 {
-        self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
-    }
-
-    /// Integral of the step function over `[first_sample, until]` — e.g. a fleet-size
-    /// series integrates to instance-seconds.
-    pub fn integral_until(&self, until: SimTime) -> f64 {
-        let end = until.as_secs();
-        let mut total = 0.0;
-        for w in self.samples.windows(2) {
-            let (t0, v0) = w[0];
-            let t1 = w[1].0.min(end);
-            if t1 > t0 {
-                total += v0 * (t1 - t0);
-            }
-        }
-        if let Some(&(t_last, v_last)) = self.samples.last() {
-            if end > t_last {
-                total += v_last * (end - t_last);
-            }
-        }
-        total
-    }
-
-    /// Time-weighted mean over `[first_sample, until]` (0 for empty/zero-length
-    /// spans).
-    pub fn time_weighted_mean(&self, until: SimTime) -> f64 {
-        let Some(&(t0, _)) = self.samples.first() else { return 0.0 };
-        let span = until.as_secs() - t0;
-        if span <= 0.0 {
-            return 0.0;
-        }
-        self.integral_until(until) / span
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn t(secs: f64) -> SimTime {
-        SimTime::from_secs(secs)
-    }
+    use crate::time::SimTime;
 
     #[test]
-    fn step_function_integral() {
+    fn reexported_series_takes_sim_seconds() {
+        // The migrated series takes raw seconds; callers pass `SimTime::as_secs()`.
         let mut s = TimeSeries::new();
-        s.record(t(0.0), 2.0); // 2 for 10s = 20
-        s.record(t(10.0), 4.0); // 4 for 5s = 20
-        s.record(t(15.0), 0.0); // 0 for 5s = 0
-        assert!((s.integral_until(t(20.0)) - 40.0).abs() < 1e-12);
-        assert!((s.time_weighted_mean(t(20.0)) - 2.0).abs() < 1e-12);
+        s.record(SimTime::from_secs(0.0).as_secs(), 2.0);
+        s.record(SimTime::from_secs(10.0).as_secs(), 4.0);
+        assert!((s.integral_until(SimTime::from_secs(15.0).as_secs()) - 40.0).abs() < 1e-12);
         assert_eq!(s.peak(), 4.0);
-    }
-
-    #[test]
-    fn integral_clamps_to_until() {
-        let mut s = TimeSeries::new();
-        s.record(t(0.0), 3.0);
-        s.record(t(10.0), 5.0);
-        // Until inside the first segment.
-        assert!((s.integral_until(t(4.0)) - 12.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn tail_extends_to_until() {
-        let mut s = TimeSeries::new();
-        s.record(t(5.0), 1.0);
-        assert!((s.integral_until(t(15.0)) - 10.0).abs() < 1e-12);
-        assert!((s.time_weighted_mean(t(15.0)) - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_series_is_zero() {
-        let s = TimeSeries::new();
-        assert_eq!(s.integral_until(t(100.0)), 0.0);
-        assert_eq!(s.time_weighted_mean(t(100.0)), 0.0);
-        assert_eq!(s.peak(), 0.0);
-        assert!(s.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn out_of_order_samples_panic() {
-        let mut s = TimeSeries::new();
-        s.record(t(10.0), 1.0);
-        s.record(t(5.0), 2.0);
-    }
-
-    #[test]
-    fn equal_timestamps_are_allowed() {
-        // A step can change twice at one tick (scale-out then sample).
-        let mut s = TimeSeries::new();
-        s.record(t(1.0), 1.0);
-        s.record(t(1.0), 3.0);
-        s.record(t(2.0), 0.0);
-        assert!((s.integral_until(t(2.0)) - 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
     }
 }

@@ -77,6 +77,28 @@ impl RetryPolicy {
         SimDuration::from_secs(capped * (1.0 - self.jitter * u))
     }
 
+    /// Histogram bucket bounds matched to this policy's backoff ladder: the exact
+    /// geometric rungs `base * multiplier^k` capped at `max_delay_secs`. Jitter only
+    /// shrinks a sleep, so every observed backoff lands at or below its rung —
+    /// buckets line up with attempt numbers instead of smearing across generic
+    /// latency buckets.
+    pub fn backoff_histogram_bounds(&self) -> Vec<f64> {
+        let base = self.base_delay_secs.max(1e-3);
+        let cap = self.max_delay_secs.max(base);
+        let mut bounds = vec![base];
+        if self.multiplier > 1.0 {
+            let mut b = base * self.multiplier;
+            while b < cap && bounds.len() < 16 {
+                bounds.push(b);
+                b *= self.multiplier;
+            }
+        }
+        if cap > *bounds.last().expect("bounds start non-empty") {
+            bounds.push(cap);
+        }
+        bounds
+    }
+
     /// Total backoff if every one of `max_attempts` attempts fails (zero jitter) —
     /// an upper bound used for lease sizing.
     pub fn worst_case_backoff(&self) -> SimDuration {
@@ -119,6 +141,20 @@ mod tests {
         assert!((wc - (0.2 + 0.4 + 0.8)).abs() < 1e-12);
         let none = RetryPolicy::none();
         assert_eq!(none.worst_case_backoff().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bounds_follow_the_backoff_ladder() {
+        let p = RetryPolicy::default();
+        let bounds = p.backoff_histogram_bounds();
+        // 0.2, 0.4, ..., up to the 10 s cap; strictly increasing.
+        assert_eq!(bounds.first().copied(), Some(0.2));
+        assert_eq!(bounds.last().copied(), Some(10.0));
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        // Degenerate policies still yield a valid (strictly increasing) set.
+        let none = RetryPolicy::none().backoff_histogram_bounds();
+        assert!(!none.is_empty());
+        assert!(none.windows(2).all(|w| w[0] < w[1]), "{none:?}");
     }
 
     #[test]

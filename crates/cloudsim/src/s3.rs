@@ -122,6 +122,16 @@ impl ObjectStore {
         let r = faults.with_retry(serial, FaultOp::S3Get, retry, || self.get(key));
         let overhead =
             SimDuration::from_secs((r.attempts - 1) as f64 * latency) + r.backoff;
+        if r.outcome.is_ok() {
+            faults.emit(
+                "s3_get",
+                vec![
+                    ("key", telemetry::JsonValue::from(key)),
+                    ("instance", telemetry::JsonValue::from(serial)),
+                    ("attempts", telemetry::JsonValue::from(r.attempts)),
+                ],
+            );
+        }
         r.outcome.map(|(data, d)| (data, d + overhead))
     }
 
@@ -136,9 +146,21 @@ impl ObjectStore {
         retry: &RetryPolicy,
     ) -> Result<SimDuration, CloudError> {
         let latency = self.transfer.latency_secs;
+        let bytes = data.len() as u64;
         let r = faults.with_retry(serial, FaultOp::S3Put, retry, || Ok(self.put(key, data.clone())));
         let overhead =
             SimDuration::from_secs((r.attempts - 1) as f64 * latency) + r.backoff;
+        if r.outcome.is_ok() {
+            faults.emit(
+                "s3_put",
+                vec![
+                    ("key", telemetry::JsonValue::from(key)),
+                    ("instance", telemetry::JsonValue::from(serial)),
+                    ("attempts", telemetry::JsonValue::from(r.attempts)),
+                    ("bytes", telemetry::JsonValue::from(bytes)),
+                ],
+            );
+        }
         r.outcome.map(|d| d + overhead)
     }
 }

@@ -32,6 +32,10 @@ struct StoredMessage<M> {
     current_receipt: Option<ReceiptHandle>,
     /// True once deleted.
     deleted: bool,
+    /// When the message was sent.
+    sent_at: SimTime,
+    /// When it was first delivered, once delivered.
+    first_received_at: Option<SimTime>,
 }
 
 /// The queue. Time never advances inside it: callers pass `now` explicitly (from the
@@ -70,8 +74,14 @@ impl<M: Clone> SqsQueue<M> {
         self
     }
 
-    /// Send a message.
+    /// Send a message at campaign start (`t = 0`).
     pub fn send(&mut self, body: M) {
+        self.send_at(body, SimTime::ZERO);
+    }
+
+    /// Send a message at time `now`, timestamping it so queue wait
+    /// (send → first receive) can be measured.
+    pub fn send_at(&mut self, body: M, now: SimTime) {
         let idx = self.messages.len();
         self.messages.push(StoredMessage {
             body,
@@ -79,6 +89,8 @@ impl<M: Clone> SqsQueue<M> {
             invisible_until: None,
             current_receipt: None,
             deleted: false,
+            sent_at: now,
+            first_received_at: None,
         });
         self.visible.push_back(idx);
     }
@@ -110,6 +122,9 @@ impl<M: Clone> SqsQueue<M> {
                 }
             }
             msg.receive_count += 1;
+            if msg.first_received_at.is_none() {
+                msg.first_received_at = Some(now);
+            }
             msg.invisible_until = Some(now + self.default_visibility);
             let receipt = ReceiptHandle(self.next_receipt);
             self.next_receipt += 1;
@@ -172,6 +187,16 @@ impl<M: Clone> SqsQueue<M> {
     /// Total undeleted messages (visible + in flight).
     pub fn pending_count(&self) -> usize {
         self.messages.iter().filter(|m| !m.deleted).count()
+    }
+
+    /// Queue wait of the message currently held under `receipt`: the interval from
+    /// send to *first* delivery (at-least-once redeliveries don't reset it).
+    /// `None` for a stale receipt.
+    pub fn queue_wait(&self, receipt: ReceiptHandle) -> Option<SimDuration> {
+        self.messages
+            .iter()
+            .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
+            .and_then(|m| m.first_received_at.map(|t| t - m.sent_at))
     }
 
     /// Bodies that were dead-lettered, in DLQ arrival order.
@@ -339,6 +364,23 @@ mod tests {
         q.delete(r2).unwrap();
         assert!(q.receive(t(100.0)).is_none());
         assert_eq!(q.dead_letter_count(), 0);
+    }
+
+    #[test]
+    fn queue_wait_spans_send_to_first_receive_only() {
+        let mut q = queue();
+        q.send_at("a".into(), t(2.0));
+        let (_, r1, _) = q.receive(t(7.5)).unwrap();
+        assert_eq!(q.queue_wait(r1), Some(SimDuration::from_secs(5.5)));
+        // Redelivery after timeout: wait still measures to the *first* receive.
+        let (_, r2, c2) = q.receive(t(40.0)).unwrap();
+        assert_eq!(c2, 2);
+        assert_eq!(q.queue_wait(r2), Some(SimDuration::from_secs(5.5)));
+        assert_eq!(q.queue_wait(r1), None, "stale receipt has no wait");
+        // Plain `send` stamps t = 0.
+        q.send("b".into());
+        let (_, r3, _) = q.receive(t(41.0)).unwrap();
+        assert_eq!(q.queue_wait(r3), Some(SimDuration::from_secs(41.0)));
     }
 
     #[test]

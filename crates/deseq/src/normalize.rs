@@ -87,6 +87,26 @@ impl NormalizedMatrix {
     pub fn get(&self, gene: usize, sample: usize) -> f64 {
         self.data[gene * self.sample_ids.len() + sample]
     }
+
+    /// Key/value attributes describing the normalization, used to annotate the
+    /// campaign-level `deseq` telemetry span (kept stringly so this crate stays
+    /// dependency-free).
+    pub fn span_attrs(&self) -> Vec<(&'static str, String)> {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &f in &self.size_factors {
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        let mut attrs = vec![
+            ("genes", self.gene_ids.len().to_string()),
+            ("samples", self.sample_ids.len().to_string()),
+        ];
+        if !self.size_factors.is_empty() {
+            attrs.push(("size_factor_min", format!("{lo:.6}")));
+            attrs.push(("size_factor_max", format!("{hi:.6}")));
+        }
+        attrs
+    }
 }
 
 /// Normalize a counts matrix: `normalized[g][j] = k[g][j] / size_factor[j]`.

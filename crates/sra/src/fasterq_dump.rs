@@ -58,6 +58,18 @@ impl FasterqOutput {
             LibraryLayout::Paired => self.reads.len() as u64 / 2,
         }
     }
+
+    /// Key/value attributes describing the dump, used to annotate the
+    /// `fasterq-dump` telemetry span (kept stringly so this crate stays
+    /// dependency-free).
+    pub fn span_attrs(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("spots", self.spots().to_string()),
+            ("reads", self.reads.len().to_string()),
+            ("fastq_bytes", self.fastq_bytes.to_string()),
+            ("layout", format!("{:?}", self.layout)),
+        ]
+    }
 }
 
 /// The `fasterq-dump` tool.

@@ -88,6 +88,50 @@ pub struct AlignmentRecord {
     pub junctions: Vec<(u64, u64, SpliceClass)>,
 }
 
+/// Work done per alignment phase, in abstract units (seeds collected, chains
+/// stitched, extensions run). Purely a *measurement* — it never affects alignment
+/// results — and it is thread-count invariant, so telemetry built from it replays
+/// identically across runs. The atlas pipeline uses the unit ratios to split the
+/// modeled `align` span into `align/seed`, `align/stitch`, and `align/extend`
+/// sub-spans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseWork {
+    /// Seeds collected across both orientations.
+    pub seed_units: u64,
+    /// Candidate chains produced by stitching.
+    pub stitch_units: u64,
+    /// Chain extensions attempted.
+    pub extend_units: u64,
+}
+
+impl PhaseWork {
+    /// Accumulate another read's work.
+    pub fn add(&mut self, other: &PhaseWork) {
+        self.seed_units += other.seed_units;
+        self.stitch_units += other.stitch_units;
+        self.extend_units += other.extend_units;
+    }
+
+    /// Total units across all phases.
+    pub fn total(&self) -> u64 {
+        self.seed_units + self.stitch_units + self.extend_units
+    }
+
+    /// `(seed, stitch, extend)` as fractions of the total (zeros when no work).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.seed_units as f64 / t,
+            self.stitch_units as f64 / t,
+            self.extend_units as f64 / t,
+        )
+    }
+}
+
 /// Outcome of aligning one read.
 #[derive(Clone, Debug)]
 pub struct AlignOutcome {
@@ -99,6 +143,8 @@ pub struct AlignOutcome {
     /// Candidate loci inspected before filtering — a *work* measure: this is the
     /// quantity the release-108 index inflates (extension runs once per candidate).
     pub candidates_examined: u32,
+    /// Per-phase work units spent on this read.
+    pub work: PhaseWork,
 }
 
 impl AlignOutcome {
@@ -152,23 +198,28 @@ impl<'i> Aligner<'i> {
 
     /// Enumerate deduplicated candidate window alignments for a read, both
     /// orientations. Shared by single-end and paired-end alignment.
-    pub(crate) fn candidates(&self, seq: &DnaSeq) -> Vec<(bool, WindowAlignment)> {
+    pub(crate) fn candidates(&self, seq: &DnaSeq) -> (Vec<(bool, WindowAlignment)>, PhaseWork) {
         let read_len = seq.len();
+        let mut work = PhaseWork::default();
         if read_len == 0 {
-            return Vec::new();
+            return (Vec::new(), work);
         }
         let genome = self.index.genome();
         let mut candidates: Vec<(bool, WindowAlignment)> = Vec::new();
         let rc = seq.reverse_complement();
         for (is_rc, codes) in [(false, seq.codes()), (true, rc.codes())] {
             let seeds = collect_seeds(self.index, codes, &self.params);
-            for chain in best_chains(&seeds, read_len, &self.params) {
+            work.seed_units += seeds.len() as u64;
+            let chains = best_chains(&seeds, read_len, &self.params);
+            work.stitch_units += chains.len() as u64;
+            for chain in chains {
                 // Chains must stay within one contig (stitching across the
                 // concatenation boundary is meaningless).
                 let span_len = chain.gend() - chain.gstart();
                 if !genome.fits_in_contig(chain.gstart(), span_len) {
                     continue;
                 }
+                work.extend_units += 1;
                 if let Some(wa) =
                     extend_chain(&chain, codes, genome, self.index.sjdb(), &self.params)
                 {
@@ -182,7 +233,7 @@ impl<'i> Aligner<'i> {
             (a.0, a.1.gstart, std::cmp::Reverse(a.1.score)).cmp(&(b.0, b.1.gstart, std::cmp::Reverse(b.1.score)))
         });
         candidates.dedup_by(|a, b| a.0 == b.0 && a.1.gstart == b.1.gstart);
-        candidates
+        (candidates, work)
     }
 
     /// Build the public record for a candidate (contig-local coordinates).
@@ -220,12 +271,17 @@ impl<'i> Aligner<'i> {
     pub fn align_seq(&self, seq: &DnaSeq) -> AlignOutcome {
         let read_len = seq.len();
         if read_len == 0 {
-            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined: 0 };
+            return AlignOutcome {
+                class: MapClass::Unmapped,
+                primary: None,
+                candidates_examined: 0,
+                work: PhaseWork::default(),
+            };
         }
-        let candidates = self.candidates(seq);
+        let (candidates, work) = self.candidates(seq);
         let candidates_examined = candidates.len() as u32;
         if candidates.is_empty() {
-            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined };
+            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined, work };
         }
 
         let best_score = candidates.iter().map(|(_, wa)| wa.score).max().expect("non-empty");
@@ -237,7 +293,7 @@ impl<'i> Aligner<'i> {
 
         // Output filters (on the best alignment, like STAR).
         if !self.passes_filters(&best_wa, read_len) {
-            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined };
+            return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined, work };
         }
 
         let n_hits = candidates
@@ -253,7 +309,7 @@ impl<'i> Aligner<'i> {
         };
 
         let record = self.record_for(best_rc, &best_wa, n_hits);
-        AlignOutcome { class, primary: Some(record), candidates_examined }
+        AlignOutcome { class, primary: Some(record), candidates_examined, work }
     }
 }
 
@@ -430,6 +486,21 @@ mod tests {
         let c1 = a1.align_seq(&read).candidates_examined;
         let c2 = a2.align_seq(&read).candidates_examined;
         assert!(c2 > c1, "duplication must inflate candidate work: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn phase_work_is_counted_and_deterministic() {
+        let chr = random_seq(11, 2000);
+        let idx = build_index(vec![("1", chr.clone())], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let out = aligner.align_seq(&chr.subseq(100, 200));
+        assert!(out.work.seed_units > 0, "a mapping read collects seeds");
+        assert!(out.work.extend_units > 0, "a mapping read extends at least one chain");
+        assert_eq!(out.work, aligner.align_seq(&chr.subseq(100, 200)).work);
+        let (fs, ft, fe) = out.work.fractions();
+        assert!((fs + ft + fe - 1.0).abs() < 1e-12);
+        assert_eq!(aligner.align_seq(&DnaSeq::new()).work, PhaseWork::default());
+        assert_eq!(PhaseWork::default().fractions(), (0.0, 0.0, 0.0));
     }
 
     #[test]

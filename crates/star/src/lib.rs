@@ -72,7 +72,7 @@ pub mod seed;
 pub mod sjdb;
 pub mod stitch;
 
-pub use align::{AlignOutcome, Aligner, AlignmentRecord, CigarOp, MapClass};
+pub use align::{AlignOutcome, Aligner, AlignmentRecord, CigarOp, MapClass, PhaseWork};
 pub use error::StarError;
 pub use index::{IndexParams, IndexStats, StarIndex};
 pub use pair::{PairOutcome, PairParams};

@@ -8,7 +8,7 @@
 //! (`--outFilterMultimapNmax`-style accounting on fragments, the unit the paper's
 //! mapping-rate statistic uses for paired libraries).
 
-use crate::align::{Aligner, AlignmentRecord, MapClass};
+use crate::align::{Aligner, AlignmentRecord, MapClass, PhaseWork};
 use crate::extend::WindowAlignment;
 use genomics::FastqRecord;
 
@@ -40,6 +40,8 @@ pub struct PairOutcome {
     pub insert_size: Option<u64>,
     /// Candidate pairings examined (work measure).
     pub pairs_examined: u32,
+    /// Per-phase alignment work for both mates combined.
+    pub work: PhaseWork,
 }
 
 impl PairOutcome {
@@ -48,8 +50,15 @@ impl PairOutcome {
         self.class.is_mapped()
     }
 
-    fn unmapped(pairs_examined: u32) -> PairOutcome {
-        PairOutcome { class: MapClass::Unmapped, rec1: None, rec2: None, insert_size: None, pairs_examined }
+    fn unmapped(pairs_examined: u32, work: PhaseWork) -> PairOutcome {
+        PairOutcome {
+            class: MapClass::Unmapped,
+            rec1: None,
+            rec2: None,
+            insert_size: None,
+            pairs_examined,
+            work,
+        }
     }
 }
 
@@ -71,10 +80,12 @@ impl<'i> Aligner<'i> {
     /// Align a read pair with explicit insert-size bounds.
     pub fn align_pair_with(&self, r1: &FastqRecord, r2: &FastqRecord, pp: &PairParams) -> PairOutcome {
         let genome = self.index().genome();
-        let c1 = self.candidates(&r1.seq);
-        let c2 = self.candidates(&r2.seq);
+        let (c1, w1) = self.candidates(&r1.seq);
+        let (c2, w2) = self.candidates(&r2.seq);
+        let mut work = w1;
+        work.add(&w2);
         if c1.is_empty() || c2.is_empty() {
-            return PairOutcome::unmapped(0);
+            return PairOutcome::unmapped(0, work);
         }
 
         // Enumerate proper pairings: opposite orientation, same contig, facing
@@ -113,7 +124,7 @@ impl<'i> Aligner<'i> {
         }
         let pairs_examined = pairs.len() as u32;
         if pairs.is_empty() {
-            return PairOutcome::unmapped(0);
+            return PairOutcome::unmapped(0, work);
         }
 
         let best_score = pairs.iter().map(|p| p.score).max().expect("non-empty");
@@ -130,7 +141,7 @@ impl<'i> Aligner<'i> {
         let (_, wa2) = &c2[best.i2];
         // Both mates must pass the per-read filters.
         if !self.passes_filters(wa1, r1.seq.len()) || !self.passes_filters(wa2, r2.seq.len()) {
-            return PairOutcome::unmapped(pairs_examined);
+            return PairOutcome::unmapped(pairs_examined, work);
         }
         let class = if n_hits == 1 {
             MapClass::Unique
@@ -150,6 +161,7 @@ impl<'i> Aligner<'i> {
             rec2: Some(rec2),
             insert_size: Some(best.insert),
             pairs_examined,
+            work,
         }
     }
 }

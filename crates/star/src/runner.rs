@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use crate::align::{Aligner, AlignmentRecord, MapClass};
+use crate::align::{Aligner, AlignmentRecord, MapClass, PhaseWork};
 use crate::index::StarIndex;
 use crate::junctions::{JunctionCollector, JunctionRow};
 use crate::logs::FinalLog;
@@ -145,6 +145,8 @@ pub struct RunOutput {
     pub junctions: Option<Vec<JunctionRow>>,
     /// Per-read records when `record_alignments` was enabled (mapped reads only).
     pub alignments: Option<Vec<AlignmentRecord>>,
+    /// Aggregate per-phase alignment work (seed/stitch/extend unit counts).
+    pub phase_work: PhaseWork,
     /// Wall-clock seconds.
     pub wall_secs: f64,
 }
@@ -201,6 +203,7 @@ impl<'i> Runner<'i> {
             self.config.collect_junctions.then(JunctionCollector::new);
         let mut history = Vec::new();
         let mut kept: Vec<AlignmentRecord> = Vec::new();
+        let mut phase_work = PhaseWork::default();
         let mut status = RunStatus::Completed;
 
         'batches: for batch in reads.chunks(self.config.batch_size) {
@@ -211,18 +214,20 @@ impl<'i> Runner<'i> {
                 }
             }
             // Parallel alignment of the batch on our private pool.
-            let outcomes: Vec<(MapClass, Option<AlignmentRecord>)> = self.pool.install(|| {
-                batch
-                    .par_iter()
-                    .map(|read| {
-                        let out = aligner.align_read(read);
-                        (out.class, out.primary)
-                    })
-                    .collect()
-            });
+            let outcomes: Vec<(MapClass, Option<AlignmentRecord>, PhaseWork)> =
+                self.pool.install(|| {
+                    batch
+                        .par_iter()
+                        .map(|read| {
+                            let out = aligner.align_read(read);
+                            (out.class, out.primary, out.work)
+                        })
+                        .collect()
+                });
             // Sequential accounting (cheap relative to alignment).
-            for (class, primary) in outcomes {
+            for (class, primary, work) in outcomes {
                 progress.record(class);
+                phase_work.add(&work);
                 if let Some(c) = counter.as_mut() {
                     c.record(class, primary.as_ref());
                 }
@@ -256,6 +261,7 @@ impl<'i> Runner<'i> {
             gene_counts: counter.map(GeneCounter::finish),
             junctions: junction_collector.map(JunctionCollector::finish),
             alignments: if self.config.record_alignments { Some(kept) } else { None },
+            phase_work,
             wall_secs: started.elapsed().as_secs_f64(),
         })
     }
@@ -280,6 +286,7 @@ impl<'i> Runner<'i> {
         let mut junction_collector = self.config.collect_junctions.then(JunctionCollector::new);
         let mut history = Vec::new();
         let mut kept: Vec<AlignmentRecord> = Vec::new();
+        let mut phase_work = PhaseWork::default();
         let mut status = RunStatus::Completed;
 
         'batches: for batch in pairs.chunks(self.config.batch_size) {
@@ -294,6 +301,7 @@ impl<'i> Runner<'i> {
             });
             for out in outcomes {
                 progress.record(out.class);
+                phase_work.add(&out.work);
                 if let Some(c) = counter.as_mut() {
                     c.record_pair(out.class, out.rec1.as_ref(), out.rec2.as_ref());
                 }
@@ -325,6 +333,7 @@ impl<'i> Runner<'i> {
             gene_counts: counter.map(GeneCounter::finish),
             junctions: junction_collector.map(JunctionCollector::finish),
             alignments: if self.config.record_alignments { Some(kept) } else { None },
+            phase_work,
             wall_secs: started.elapsed().as_secs_f64(),
         })
     }
@@ -367,11 +376,14 @@ impl<'i> Runner<'i> {
         if inserted == 0 {
             // Nothing new: the second pass would be identical; run with the caller's
             // own config for the requested outputs.
-            return Ok((self.run(reads, annotation, None, None)?, 0));
+            let mut output = self.run(reads, annotation, None, None)?;
+            output.phase_work.add(&first.phase_work);
+            return Ok((output, 0));
         }
         let augmented = self.index.with_extra_junctions(novel);
         let second_runner = Runner::new(&augmented, self.align_params.clone(), self.config.clone())?;
-        let output = second_runner.run(reads, annotation, None, None)?;
+        let mut output = second_runner.run(reads, annotation, None, None)?;
+        output.phase_work.add(&first.phase_work);
         Ok((output, inserted))
     }
 }

@@ -1,0 +1,47 @@
+//! The structured event log.
+//!
+//! Events are `(sim-time, kind, fields)` records serialized as NDJSON — one JSON
+//! object per line, `t` and `kind` first, then kind-specific fields in a fixed
+//! per-kind order. Emission order is the simulator's deterministic event order, so
+//! a fixed-seed campaign's NDJSON dump is byte-identical across runs.
+
+use crate::json::JsonValue;
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Simulated seconds since campaign start.
+    pub at_secs: f64,
+    /// Event kind, snake_case (`fault_injected`, `retry`, `spot_interruption`, ...).
+    pub kind: String,
+    /// Kind-specific fields, serialized in this order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl EventRecord {
+    /// Serialize as one NDJSON line (no trailing newline).
+    pub fn ndjson_line(&self) -> String {
+        let mut fields =
+            vec![("t".to_string(), JsonValue::from(self.at_secs)), ("kind".to_string(), JsonValue::from(self.kind.as_str()))];
+        fields.extend(self.fields.iter().cloned());
+        JsonValue::Obj(fields).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_puts_time_and_kind_first() {
+        let e = EventRecord {
+            at_secs: 12.5,
+            kind: "retry".into(),
+            fields: vec![
+                ("op".to_string(), JsonValue::from("s3_get")),
+                ("attempt".to_string(), JsonValue::from(2u64)),
+            ],
+        };
+        assert_eq!(e.ndjson_line(), "{\"t\":12.5,\"kind\":\"retry\",\"op\":\"s3_get\",\"attempt\":2}");
+    }
+}

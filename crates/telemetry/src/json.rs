@@ -1,0 +1,207 @@
+//! Minimal deterministic JSON construction.
+//!
+//! The vendored `serde` shim is a no-op (its derives expand to marker impls), so
+//! telemetry hand-rolls its JSON. Values are built as an explicit tree and written
+//! with a stable field order; floats use Rust's shortest-roundtrip `{}` formatting.
+//! The result: serializing the same telemetry twice yields the same bytes, which is
+//! what makes fixed-seed event logs byte-comparable.
+
+use std::fmt::{self, Write};
+
+/// A JSON value with deterministic serialization.
+///
+/// Object fields serialize in insertion order — builders keep that order stable
+/// (sorted names for registries, fixed per-kind order for events).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`. Also what non-finite floats degrade to, as in `serde_json`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (counters, counts).
+    UInt(u64),
+    /// A float, written with shortest-roundtrip formatting; non-finite → `null`.
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; fields keep insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialize into `out` (compact, no whitespace).
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                    // `{}` prints integral floats without a decimal point ("3");
+                    // still a valid JSON number, and bit-deterministic.
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize to a fresh compact string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(u64::from(v))
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Arr(v)
+    }
+}
+
+/// Write `s` as a quoted JSON string with the mandatory escapes.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_compactly() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::from(true).render(), "true");
+        assert_eq!(JsonValue::from(-3i64).render(), "-3");
+        assert_eq!(JsonValue::from(42u64).render(), "42");
+        assert_eq!(JsonValue::from(1.5).render(), "1.5");
+        assert_eq!(JsonValue::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::from(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(JsonValue::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(JsonValue::from("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = JsonValue::obj(vec![
+            ("z", JsonValue::from(1u64)),
+            ("a", JsonValue::Arr(vec![JsonValue::Null, JsonValue::from(2.0)])),
+        ]);
+        assert_eq!(v.render(), "{\"z\":1,\"a\":[null,2]}");
+    }
+
+    #[test]
+    fn rendering_is_reproducible() {
+        let v = JsonValue::obj(vec![("t", JsonValue::from(0.30000000000000004))]);
+        assert_eq!(v.render(), v.render());
+        assert_eq!(v.render(), "{\"t\":0.30000000000000004}");
+    }
+}

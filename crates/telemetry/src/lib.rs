@@ -1,0 +1,155 @@
+//! Deterministic sim-time telemetry for the atlas simulator.
+//!
+//! The paper's headline numbers (the >12× release speedup of Fig. 3, the 19.5 %
+//! compute saved by early stopping in Fig. 4) are *measurement* results: they exist
+//! because per-stage wall clock and STAR's `Log.progress.out` were observable. This
+//! crate is the reproduction's measurement layer:
+//!
+//! * [`Recorder`] — the shared sink. Hierarchical [`span::SpanRecord`] spans
+//!   (campaign → instance → job → stage → align sub-stage), a
+//!   [`metrics::MetricsRegistry`] of counters/gauges/fixed-bucket histograms, and a
+//!   structured NDJSON event log. A disabled recorder is a cheap no-op (one branch,
+//!   no lock).
+//! * [`report::CampaignTelemetry`] — the analysis pass: per-stage p50/p95/p99,
+//!   a critical-path extractor over the span tree (which stage dominates each
+//!   accession, fleet-level utilization breakdown), rendered into campaign reports.
+//! * [`series::TimeSeries`] — timestamped gauge series (migrated from
+//!   `cloudsim::metrics`; re-exported there for compatibility).
+//!
+//! **Determinism contract.** All timestamps are *simulated* seconds — nothing in
+//! this crate reads a wall clock, and the vendored `serde` shim is a no-op, so all
+//! JSON is hand-rolled via [`json::JsonValue`] with a stable field order. Given a
+//! fixed campaign seed, the serialized event log and every histogram quantile are
+//! byte-identical across runs (`tests/tests/telemetry.rs` proves it).
+
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod series;
+pub mod span;
+
+pub use events::EventRecord;
+pub use json::JsonValue;
+pub use metrics::{Histogram, MetricsRegistry, RATE_BUCKETS, SECS_BUCKETS};
+pub use recorder::Recorder;
+pub use report::{summarize, AccessionPath, CampaignTelemetry, CriticalPath, StageStats};
+pub use series::TimeSeries;
+pub use span::{SpanId, SpanRecord};
+
+/// Version stamped into every serialized telemetry document. Bump it (and the
+/// golden under `golden/telemetry_schema.json`) when the schema changes shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The stable JSON schema of everything this crate serializes, as a JSON document.
+///
+/// CI pins this against `golden/telemetry_schema.json`: drifting the shape of the
+/// event log, span dump, metrics registry, or campaign summary without consciously
+/// updating the golden fails the build.
+pub fn schema_json() -> String {
+    use json::JsonValue as J;
+    let field = |name: &str, ty: &str| (name.to_string(), J::from(ty));
+    let obj = |fields: Vec<(String, J)>| J::Obj(fields);
+    let schema = obj(vec![
+        ("schema_version".into(), J::from(u64::from(SCHEMA_VERSION))),
+        (
+            "event".into(),
+            obj(vec![
+                field("t", "f64 — simulated seconds since campaign start"),
+                field("kind", "string — event kind, snake_case"),
+                field("...", "kind-specific fields, stable order per kind"),
+            ]),
+        ),
+        (
+            "span".into(),
+            obj(vec![
+                field("id", "u64 — 1-based, in emission order"),
+                field("parent", "u64 — parent span id, 0 for roots"),
+                field("name", "string — campaign|instance|job|<stage>|align/<phase>"),
+                field("start", "f64 — simulated seconds"),
+                field("end", "f64|null — simulated seconds, >= start"),
+                field("attrs", "object — string-valued attributes, stable order"),
+            ]),
+        ),
+        (
+            "metrics".into(),
+            obj(vec![
+                field("counters", "object — name -> u64, names sorted"),
+                field("gauges", "object — name -> f64, names sorted"),
+                (
+                    "histograms".into(),
+                    obj(vec![
+                        field("bounds", "array of f64 — inclusive upper bounds"),
+                        field("counts", "array of u64 — len(bounds)+1, last is overflow"),
+                        field("count", "u64"),
+                        field("sum", "f64"),
+                        field("min", "f64"),
+                        field("max", "f64"),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "campaign_telemetry".into(),
+            obj(vec![
+                field("schema_version", "u32"),
+                field("n_spans", "u64"),
+                field("n_events", "u64"),
+                (
+                    "stages".into(),
+                    obj(vec![
+                        field("stage", "string"),
+                        field("count", "u64 — completed jobs contributing"),
+                        field("total_secs", "f64"),
+                        field("p50", "f64"),
+                        field("p95", "f64"),
+                        field("p99", "f64"),
+                    ]),
+                ),
+                (
+                    "critical_path".into(),
+                    obj(vec![
+                        field("dominant_stage", "string — stage with largest total"),
+                        field("dominant_accessions", "u64 — accessions it dominates"),
+                        field("fleet_busy_secs", "f64 — sum of job span durations"),
+                        field("fleet_uptime_secs", "f64 — sum of instance span durations"),
+                        field("stage_share", "object — stage -> fraction of stage time"),
+                        (
+                            "per_accession".into(),
+                            obj(vec![
+                                field("accession", "string"),
+                                field("total_secs", "f64"),
+                                field("dominant_stage", "string"),
+                                field("dominant_secs", "f64"),
+                            ]),
+                        ),
+                    ]),
+                ),
+                field("metrics", "object — see `metrics`"),
+            ]),
+        ),
+    ]);
+    let mut out = schema.render();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CI gate: the serialized schema must match the committed golden byte for
+    /// byte. To change the schema deliberately, regenerate the golden with the
+    /// output of [`schema_json`].
+    #[test]
+    fn schema_matches_golden() {
+        let golden = include_str!("../golden/telemetry_schema.json");
+        assert_eq!(
+            schema_json(),
+            golden,
+            "telemetry JSON schema drifted from golden/telemetry_schema.json; \
+             update the golden deliberately if the change is intended"
+        );
+    }
+}

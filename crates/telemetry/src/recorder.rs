@@ -1,0 +1,252 @@
+//! The telemetry sink shared across the stack.
+//!
+//! A [`Recorder`] is handed around as `Arc<Recorder>` (orchestrator → fault
+//! injector → auto-scaling group → ...). All state sits behind one mutex; every
+//! public method first checks the `enabled` flag, so a disabled recorder costs a
+//! single branch — no lock, no allocation — which is the "cheap no-op path" the
+//! hot simulator loop relies on.
+
+use crate::events::EventRecord;
+use crate::json::JsonValue;
+use crate::metrics::MetricsRegistry;
+use crate::span::{SpanId, SpanRecord};
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    metrics: MetricsRegistry,
+}
+
+/// Deterministic sim-time telemetry recorder.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder.
+    pub fn new() -> Recorder {
+        Recorder { enabled: true, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// A disabled recorder: every operation is a branch-and-return no-op, spans
+    /// come back as [`SpanId::NONE`].
+    pub fn disabled() -> Recorder {
+        Recorder { enabled: false, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// True when this recorder captures anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("telemetry recorder poisoned")
+    }
+
+    /// Open a span at `at_secs`. `parent` may be [`SpanId::NONE`] for a root.
+    pub fn span_start(&self, name: &str, parent: SpanId, at_secs: f64) -> SpanId {
+        self.span_start_attrs(name, parent, at_secs, &[])
+    }
+
+    /// Open a span with attributes.
+    pub fn span_start_attrs(
+        &self,
+        name: &str,
+        parent: SpanId,
+        at_secs: f64,
+        attrs: &[(&str, String)],
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let mut inner = self.lock();
+        let id = inner.spans.len() as u64 + 1;
+        inner.spans.push(SpanRecord {
+            id,
+            parent: parent.0,
+            name: name.to_string(),
+            start_secs: at_secs,
+            end_secs: None,
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+        SpanId(id)
+    }
+
+    /// Close span `id` at `at_secs`. No-op for [`SpanId::NONE`] or an already
+    /// closed span; panics if `at_secs` precedes the span's start (a sim bug —
+    /// spans must never have negative duration).
+    pub fn span_end(&self, id: SpanId, at_secs: f64) {
+        if !self.enabled || id.is_none() {
+            return;
+        }
+        let mut inner = self.lock();
+        let span = &mut inner.spans[(id.0 - 1) as usize];
+        assert!(
+            at_secs >= span.start_secs,
+            "span '{}' would end at {at_secs} before its start {}",
+            span.name,
+            span.start_secs
+        );
+        if span.end_secs.is_none() {
+            span.end_secs = Some(at_secs);
+        }
+    }
+
+    /// Record a span retroactively, already closed over `[start_secs, end_secs]`.
+    /// This is how the orchestrator emits job/stage spans: a job's stage breakdown
+    /// is only known when the job completes, so its spans are backdated then.
+    pub fn span_closed(
+        &self,
+        name: &str,
+        parent: SpanId,
+        start_secs: f64,
+        end_secs: f64,
+        attrs: &[(&str, String)],
+    ) -> SpanId {
+        let id = self.span_start_attrs(name, parent, start_secs, attrs);
+        self.span_end(id, end_secs);
+        id
+    }
+
+    /// Append a structured event.
+    pub fn event(&self, at_secs: f64, kind: &str, fields: Vec<(&str, JsonValue)>) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().events.push(EventRecord {
+            at_secs,
+            kind: kind.to_string(),
+            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Add `n` to counter `name`.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().metrics.counter_add(name, n);
+    }
+
+    /// Set gauge `name`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().metrics.gauge_set(name, v);
+    }
+
+    /// Record `v` into histogram `name` (created with `bounds` on first touch).
+    pub fn observe(&self, name: &str, bounds: &[f64], v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().metrics.observe(name, bounds, v);
+    }
+
+    /// Snapshot of every span recorded so far (emission order).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// Number of spans recorded.
+    pub fn n_spans(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    /// Number of events recorded.
+    pub fn n_events(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// The whole event log as NDJSON (one line per event, trailing newline when
+    /// non-empty). Byte-identical across same-seed runs.
+    pub fn events_ndjson(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for e in &inner.events {
+            out.push_str(&e.ndjson_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.lock().metrics.clone()
+    }
+
+    /// The metrics registry serialized to its stable JSON shape.
+    pub fn metrics_json(&self) -> String {
+        self.lock().metrics.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        let id = r.span_start("job", SpanId::NONE, 1.0);
+        assert!(id.is_none());
+        r.span_end(id, 2.0);
+        r.event(1.0, "retry", vec![("op", JsonValue::from("s3_get"))]);
+        r.counter_add("c", 1);
+        r.observe("h", &[1.0], 0.5);
+        assert_eq!(r.n_spans(), 0);
+        assert_eq!(r.n_events(), 0);
+        assert_eq!(r.events_ndjson(), "");
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_close() {
+        let r = Recorder::new();
+        let root = r.span_start("campaign", SpanId::NONE, 0.0);
+        let job = r.span_start_attrs("job", root, 1.0, &[("accession", "SRR1".to_string())]);
+        r.span_end(job, 3.0);
+        r.span_end(root, 4.0);
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, root.0);
+        assert_eq!(spans[1].end_secs, Some(3.0));
+        assert_eq!(spans[1].attr("accession"), Some("SRR1"));
+    }
+
+    #[test]
+    fn double_close_keeps_first_end() {
+        let r = Recorder::new();
+        let s = r.span_start("instance", SpanId::NONE, 0.0);
+        r.span_end(s, 5.0);
+        r.span_end(s, 9.0);
+        assert_eq!(r.spans()[0].end_secs, Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before its start")]
+    fn negative_duration_panics() {
+        let r = Recorder::new();
+        let s = r.span_start("job", SpanId::NONE, 10.0);
+        r.span_end(s, 9.0);
+    }
+
+    #[test]
+    fn event_log_is_ndjson_in_emission_order() {
+        let r = Recorder::new();
+        r.event(1.0, "a", vec![]);
+        r.event(2.0, "b", vec![("k", JsonValue::from(3u64))]);
+        assert_eq!(r.events_ndjson(), "{\"t\":1,\"kind\":\"a\"}\n{\"t\":2,\"kind\":\"b\",\"k\":3}\n");
+    }
+}

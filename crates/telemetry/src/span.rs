@@ -1,0 +1,105 @@
+//! Hierarchical sim-time spans.
+//!
+//! A span is a named `[start, end]` interval in simulated seconds with an optional
+//! parent, forming the campaign → instance → job → stage → align-sub-stage tree
+//! the critical-path extractor walks. Ids are 1-based and assigned in emission
+//! order by the [`crate::Recorder`]; `0` means "no span" (disabled recorder or
+//! root).
+
+use crate::json::JsonValue;
+
+/// Handle to a recorded span. `SpanId::NONE` (0) is the null handle: it is what a
+/// disabled recorder returns, every operation on it is a no-op, and as a parent it
+/// means "root".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span handle / root parent.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for the null handle.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One recorded span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// 1-based id, in emission order.
+    pub id: u64,
+    /// Parent span id; 0 for roots.
+    pub parent: u64,
+    /// Span name (`campaign`, `instance`, `job`, a stage name, `align/seed`, ...).
+    pub name: String,
+    /// Start, simulated seconds.
+    pub start_secs: f64,
+    /// End, simulated seconds (`None` while open). Never less than `start_secs`.
+    pub end_secs: Option<f64>,
+    /// String-valued attributes in a stable, caller-chosen order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Duration in seconds; 0 while the span is still open.
+    pub fn duration_secs(&self) -> f64 {
+        self.end_secs.map_or(0.0, |e| e - self.start_secs)
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Serialize to the stable JSON shape.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("id", JsonValue::from(self.id)),
+            ("parent", JsonValue::from(self.parent)),
+            ("name", JsonValue::from(self.name.as_str())),
+            ("start", JsonValue::from(self.start_secs)),
+            ("end", self.end_secs.map_or(JsonValue::Null, JsonValue::from)),
+            (
+                "attrs",
+                JsonValue::Obj(
+                    self.attrs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_none() {
+        assert!(SpanId::NONE.is_none());
+        assert!(!SpanId(3).is_none());
+    }
+
+    #[test]
+    fn duration_and_attrs() {
+        let s = SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "job".into(),
+            start_secs: 2.0,
+            end_secs: Some(5.5),
+            attrs: vec![("accession".into(), "SRR1".into())],
+        };
+        assert!((s.duration_secs() - 3.5).abs() < 1e-12);
+        assert_eq!(s.attr("accession"), Some("SRR1"));
+        assert_eq!(s.attr("missing"), None);
+        assert_eq!(
+            s.to_json().render(),
+            "{\"id\":1,\"parent\":0,\"name\":\"job\",\"start\":2,\"end\":5.5,\
+             \"attrs\":{\"accession\":\"SRR1\"}}"
+        );
+    }
+}

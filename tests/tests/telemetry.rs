@@ -1,0 +1,218 @@
+//! Telemetry subsystem end-to-end: replay determinism of the event log and
+//! stage quantiles, the critical-path report, queue-wait metrics, and the
+//! observer guarantee (disabling telemetry changes nothing else).
+
+use atlas_pipeline::experiments::Substrate;
+use atlas_pipeline::orchestrator::{CampaignConfig, CampaignReport, Orchestrator};
+use atlas_pipeline::pipeline::{AtlasPipeline, PipelineConfig};
+use atlas_pipeline::report::render_campaign;
+use cloudsim::faults::FaultPlan;
+use cloudsim::instance::InstanceType;
+use cloudsim::ScalingPolicy;
+use genomics::EnsemblParams;
+use sra_sim::accession::CatalogParams;
+use sra_sim::SraRepository;
+use std::sync::Arc;
+
+/// Same shape as the chaos fixture, with a configurable modeled per-read cost:
+/// the replay tests keep the cheap 2e-4 s/read; the critical-path test raises
+/// it so the align stage dominates the pipeline the way the paper's Fig. 1
+/// timeline does at full scale.
+fn pipeline_fixture(n: usize, align_secs_per_read: f64) -> (Arc<AtlasPipeline>, Vec<String>) {
+    let sub = Substrate::build(EnsemblParams::tiny()).unwrap();
+    let catalog = CatalogParams {
+        n_accessions: n,
+        single_cell_fraction: 0.2,
+        bulk_spots_median: 400,
+        ..CatalogParams::default()
+    }
+    .generate()
+    .unwrap();
+    let repo = Arc::new(
+        SraRepository::new(Arc::clone(&sub.asm_111), Arc::clone(&sub.annotation), catalog)
+            .with_spot_cap(600),
+    );
+    let mut pc = PipelineConfig::default();
+    pc.run_config.threads = 2;
+    pc.align_secs_per_read = Some(align_secs_per_read);
+    let pipeline = Arc::new(
+        AtlasPipeline::new(repo, Arc::clone(&sub.index_111), Arc::clone(&sub.annotation), pc).unwrap(),
+    );
+    let ids = pipeline.repository().ids();
+    (pipeline, ids)
+}
+
+fn base_config() -> CampaignConfig {
+    let t = InstanceType::by_name("r6a.xlarge").unwrap();
+    let mut cfg = CampaignConfig::new(t, 1 << 20);
+    cfg.scaling = ScalingPolicy { min_size: 0, max_size: 4, target_backlog_per_instance: 4 };
+    cfg.scale_tick = cloudsim::SimDuration::from_secs(10.0);
+    cfg.poll_interval = cloudsim::SimDuration::from_secs(5.0);
+    cfg
+}
+
+fn chaos_config(plan: FaultPlan) -> CampaignConfig {
+    let mut cfg = base_config();
+    cfg.spot_market =
+        cloudsim::SpotMarket { price_factor: 0.35, interruptions_per_hour: 40.0, seed: 5 };
+    cfg.faults = Some(plan);
+    cfg.max_receive_count = Some(6);
+    cfg
+}
+
+fn run(pipeline: &Arc<AtlasPipeline>, ids: &[String], cfg: CampaignConfig) -> CampaignReport {
+    Orchestrator::new(Arc::clone(pipeline), cfg).unwrap().run(ids).unwrap()
+}
+
+#[test]
+fn fixed_seed_chaos_replays_event_log_and_stage_quantiles_identically() {
+    let (pipeline, ids) = pipeline_fixture(10, 2.0e-4);
+    let r1 = run(&pipeline, &ids, chaos_config(FaultPlan::chaos(7)));
+    let r2 = run(&pipeline, &ids, chaos_config(FaultPlan::chaos(7)));
+    assert_eq!(r1.summary_digest(), r2.summary_digest(), "campaign itself must replay");
+
+    let t1 = r1.telemetry.as_ref().expect("telemetry on by default");
+    let t2 = r2.telemetry.as_ref().expect("telemetry on by default");
+    assert!(!t1.event_log.is_empty(), "chaos must produce events");
+    assert_eq!(t1.event_log, t2.event_log, "NDJSON event log must be byte-identical");
+    assert_eq!(t1.metrics_json, t2.metrics_json, "metrics JSON must be byte-identical");
+    assert_eq!(t1.n_spans, t2.n_spans);
+    assert_eq!(t1.n_events, t2.n_events);
+    assert_eq!(t1.stage_stats.len(), t2.stage_stats.len());
+    for (a, b) in t1.stage_stats.iter().zip(&t2.stage_stats) {
+        assert_eq!(a.stage, b.stage);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.p50.to_bits(), b.p50.to_bits(), "{} p50", a.stage);
+        assert_eq!(a.p95.to_bits(), b.p95.to_bits(), "{} p95", a.stage);
+    }
+
+    // A different seed must steer the event stream differently.
+    let r3 = run(&pipeline, &ids, chaos_config(FaultPlan::chaos(8)));
+    assert_ne!(t1.event_log, r3.telemetry.as_ref().unwrap().event_log);
+}
+
+#[test]
+fn critical_path_report_shows_align_dominating() {
+    // ~0.02 s/read puts the align stage at seconds per accession while the
+    // transfer stages stay sub-second — align must dominate the critical path,
+    // consistent with the paper's Fig. 4 premise that STAR is the cost center.
+    let (pipeline, ids) = pipeline_fixture(8, 2.0e-2);
+    let report = run(&pipeline, &ids, base_config());
+    assert_eq!(report.completed.len(), ids.len());
+    let t = report.telemetry.as_ref().expect("telemetry on by default");
+
+    assert_eq!(t.critical_path.dominant_stage, "align");
+    assert_eq!(t.critical_path.per_accession.len(), report.completed.len());
+    assert!(
+        t.critical_path.dominant_accessions * 2 > report.completed.len(),
+        "align dominates the majority: {}/{}",
+        t.critical_path.dominant_accessions,
+        report.completed.len()
+    );
+    let align_share = t
+        .critical_path
+        .stage_share
+        .iter()
+        .find(|(s, _)| s == "align")
+        .map(|(_, f)| *f)
+        .unwrap();
+    assert!(align_share > 0.5, "align share {align_share}");
+    let share_sum: f64 = t.critical_path.stage_share.iter().map(|(_, f)| f).sum();
+    assert!((share_sum - 1.0).abs() < 1e-9, "shares partition pipeline time: {share_sum}");
+    assert!(
+        t.critical_path.fleet_busy_secs <= t.critical_path.fleet_uptime_secs,
+        "busy {} cannot exceed uptime {}",
+        t.critical_path.fleet_busy_secs,
+        t.critical_path.fleet_uptime_secs
+    );
+
+    // Per-stage quantiles are ordered and the align stage is the largest.
+    let align = t.stage_stats.iter().find(|s| s.stage == "align").unwrap();
+    assert_eq!(align.count as usize, report.completed.len());
+    assert!(align.p50 <= align.p95 && align.p95 <= align.p99);
+    for s in &t.stage_stats {
+        if s.stage != "align" {
+            assert!(s.total_secs < align.total_secs, "{} vs align", s.stage);
+        }
+    }
+
+    // The human-readable campaign report quotes the breakdown.
+    let text = render_campaign(&report, "r6a.xlarge");
+    assert!(text.contains("telemetry:"), "{text}");
+    assert!(text.contains("critical path: 'align' dominates"), "{text}");
+    assert!(text.contains("stage share of pipeline time"), "{text}");
+    assert!(text.contains("fleet: busy"), "{text}");
+}
+
+#[test]
+fn queue_wait_is_recorded_per_accession() {
+    let (pipeline, ids) = pipeline_fixture(8, 2.0e-4);
+    let report = run(&pipeline, &ids, base_config());
+    let t = report.telemetry.as_ref().unwrap();
+
+    // One first-delivery per message, each waiting at least the instance init
+    // time (the fleet starts empty).
+    let (_, count, p50, _, _) = t
+        .histogram_summaries
+        .iter()
+        .find(|(name, ..)| name == "queue_wait_secs")
+        .cloned()
+        .expect("queue-wait histogram present");
+    assert_eq!(count as usize, ids.len(), "every accession is first-received exactly once");
+    assert!(p50 > 0.0, "waits include instance init: {p50}");
+    assert!(
+        t.event_log.lines().filter(|l| l.contains("\"kind\":\"queue_wait\"")).count() == ids.len(),
+        "one queue_wait event per accession"
+    );
+}
+
+#[test]
+fn disabling_telemetry_is_a_pure_observer_change() {
+    let (pipeline, ids) = pipeline_fixture(8, 2.0e-4);
+    let on = run(&pipeline, &ids, chaos_config(FaultPlan::chaos(11)));
+    let mut cfg = chaos_config(FaultPlan::chaos(11));
+    cfg.telemetry = false;
+    let off = run(&pipeline, &ids, cfg);
+
+    assert!(on.telemetry.is_some());
+    assert!(off.telemetry.is_none());
+    assert_eq!(
+        on.summary_digest(),
+        off.summary_digest(),
+        "recording telemetry must not perturb the campaign"
+    );
+}
+
+#[test]
+fn event_log_records_the_failure_narrative() {
+    let (pipeline, ids) = pipeline_fixture(10, 2.0e-4);
+    let mut plan = FaultPlan::chaos(42);
+    plan.spot_bursts = vec![cloudsim::faults::SpotBurst {
+        start_secs: 200.0,
+        duration_secs: 600.0,
+        rate_per_hour: 30.0,
+    }];
+    let report = run(&pipeline, &ids, chaos_config(plan));
+    let t = report.telemetry.as_ref().unwrap();
+
+    for line in t.event_log.lines() {
+        assert!(line.starts_with("{\"t\":"), "NDJSON lines lead with sim time: {line}");
+    }
+    assert!(t.event_log.contains("\"kind\":\"fault_injected\""), "chaos faults logged");
+    assert!(t.event_log.contains("\"kind\":\"retry\""), "retry backoffs logged");
+    assert!(t.event_log.contains("\"kind\":\"instance_ready\""));
+    if report.interruptions > 0 {
+        assert!(t.event_log.contains("\"kind\":\"spot_interruption\""));
+    }
+    for a in &report.dead_lettered {
+        assert!(
+            t.event_log.contains(&format!("\"kind\":\"dead_letter\",\"accession\":\"{a}\"")),
+            "dead-letter of {a} logged"
+        );
+    }
+    // Early stops (20% of the catalog is single-cell) surface as decisions.
+    if report.savings.stopped > 0 {
+        assert!(t.event_log.contains("\"kind\":\"early_stop\""));
+        assert!(t.metrics_json.contains("mapping_rate_at_stop"));
+    }
+}
