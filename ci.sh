@@ -9,3 +9,12 @@ cargo test -q --release --offline --no-fail-fast
 # explicitly so drift fails loudly even when the suite above is filtered.
 cargo test -q --release --offline -p telemetry schema_matches_golden
 cargo clippy --offline -- -D warnings
+
+# Benches must keep compiling (they are not covered by `cargo test`), and the
+# bench-regression comparator must accept the committed baseline against itself.
+# Full bench runs stay manual (BENCH_JSON_DIR=... cargo bench -p atlas-bench,
+# then bench_compare benchmarks/baseline <fresh_dir>): wall-clock means from a
+# loaded CI box are not comparable to the pinned baseline.
+cargo build --release --offline -p atlas-bench --benches
+cargo build --release --offline -p atlas-bench --bin bench_compare
+./target/release/bench_compare benchmarks/baseline benchmarks/baseline

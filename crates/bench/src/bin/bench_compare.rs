@@ -1,0 +1,166 @@
+//! Bench-regression gate: compare two directories of criterion-shim JSON reports.
+//!
+//! ```text
+//! bench_compare <baseline_dir> <fresh_dir> [--tolerance 0.25]
+//! ```
+//!
+//! Every `BENCH_*.json` in the baseline directory (telemetry side-files excluded)
+//! must exist in the fresh directory, and every benchmark id in it must not be
+//! slower than `mean_secs * (1 + tolerance)`. Exit code 1 on any regression or
+//! missing report, 0 otherwise. The committed baseline lives in
+//! `benchmarks/baseline/` and was captured with the same pinned-seed fixtures the
+//! benches use (`BENCH_JSON_DIR=... cargo bench -p atlas-bench`), so a comparison
+//! is apples-to-apples on any machine as long as both sides ran on that machine.
+//!
+//! The parser is deliberately hand-rolled for the shim's flat schema
+//! (`{"group":...,"results":[{"id","mean_secs","iters","throughput_per_sec"}]}`):
+//! the workspace carries no JSON-parsing dependency, and the shim's writer and
+//! this reader are pinned to the same format by the round-trip test in the shim.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One benchmark entry: `(id, mean_secs)`.
+type Entry = (String, f64);
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (mut baseline, mut fresh, mut tolerance) = (None::<PathBuf>, None::<PathBuf>, 0.25f64);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => tolerance = t,
+                    _ => return usage(&format!("bad --tolerance value {v:?}")),
+                }
+            }
+            _ if baseline.is_none() => baseline = Some(PathBuf::from(a)),
+            _ if fresh.is_none() => fresh = Some(PathBuf::from(a)),
+            _ => return usage(&format!("unexpected argument {a:?}")),
+        }
+    }
+    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
+        return usage("missing directories");
+    };
+
+    let mut reports: Vec<PathBuf> = match std::fs::read_dir(&baseline) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.starts_with("BENCH_")
+                    && name.ends_with(".json")
+                    && !name.ends_with("_telemetry.json")
+            })
+            .collect(),
+        Err(e) => return usage(&format!("cannot read {}: {e}", baseline.display())),
+    };
+    reports.sort();
+    if reports.is_empty() {
+        eprintln!("bench_compare: no BENCH_*.json reports in {}", baseline.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut table = String::new();
+    for base_path in &reports {
+        let name = base_path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let fresh_path = fresh.join(name);
+        let (group, base_entries) = match load_report(base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_compare: {}: {e}", base_path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let fresh_entries = match load_report(&fresh_path) {
+            Ok((_, entries)) => entries,
+            Err(e) => {
+                eprintln!("bench_compare: {}: {e} (bench not re-run?)", fresh_path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        for (id, base_mean) in &base_entries {
+            let Some((_, fresh_mean)) = fresh_entries.iter().find(|(fid, _)| fid == id) else {
+                eprintln!("bench_compare: {group}/{id}: missing from fresh report");
+                failures += 1;
+                continue;
+            };
+            let ratio = fresh_mean / base_mean;
+            let verdict = if *fresh_mean > base_mean * (1.0 + tolerance) {
+                failures += 1;
+                "REGRESSION"
+            } else if ratio < 1.0 {
+                "faster"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                table,
+                "{group}/{id}: {base_mean:.6}s -> {fresh_mean:.6}s ({ratio:.2}x base) {verdict}"
+            );
+        }
+    }
+    print!("{table}");
+    if failures > 0 {
+        eprintln!("bench_compare: {failures} regression(s)/missing entry(ies) beyond {tolerance:.0}% tolerance", tolerance = tolerance * 100.0);
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: all benchmarks within {:.0}% of baseline", tolerance * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bench_compare: {err}");
+    eprintln!("usage: bench_compare <baseline_dir> <fresh_dir> [--tolerance 0.25]");
+    ExitCode::FAILURE
+}
+
+/// Parse one criterion-shim report: `{"group":"...","results":[...]}`.
+fn load_report(path: &Path) -> Result<(String, Vec<Entry>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let group = extract_string(&text, "group").ok_or("missing \"group\" field")?;
+    let mut entries = Vec::new();
+    // Each result object starts with its "id" field; scan object by object.
+    let mut rest = text.as_str();
+    while let Some(obj_start) = rest.find("{\"id\":") {
+        let obj = &rest[obj_start..];
+        let end = obj.find('}').ok_or("unterminated result object")?;
+        let obj_text = &obj[..=end];
+        let id = extract_string(obj_text, "id").ok_or("result without id")?;
+        let mean = extract_number(obj_text, "mean_secs").ok_or("result without mean_secs")?;
+        if !(mean.is_finite() && mean >= 0.0) {
+            return Err(format!("{id}: bad mean_secs {mean}"));
+        }
+        entries.push((id, mean));
+        rest = &obj[end..];
+    }
+    if entries.is_empty() {
+        return Err("no results".into());
+    }
+    Ok((group, entries))
+}
+
+/// Extract `"key":"value"` (shim output never escapes quotes in ids/groups).
+fn extract_string(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = text.find(&pat)? + pat.len();
+    let end = text[start..].find('"')?;
+    Some(text[start..start + end].to_string())
+}
+
+/// Extract `"key":<number>`.
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let tail = &text[start..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}

@@ -6,14 +6,17 @@
 //! `--outFilterMultimapNmax`) and classify the read as uniquely mapped, multimapped,
 //! mapped-to-too-many-loci, or unmapped.
 
-use crate::extend::{extend_chain, WindowAlignment};
+use crate::extend::{extend_chain_into, WindowAlignment};
 use crate::index::StarIndex;
 use crate::params::AlignParams;
-use crate::seed::collect_seeds;
+use crate::prefix::PrefixTable;
+use crate::scratch::{with_thread_scratch, AlignScratch, CandSet, ScratchCore};
+use crate::seed::collect_seeds_with;
 use crate::sjdb::SpliceClass;
-use crate::stitch::best_chains;
+use crate::stitch::best_chains_into;
 use genomics::{DnaSeq, FastqRecord};
 use std::fmt;
+use std::sync::Arc;
 
 /// CIGAR-lite operation (substitution-only model: no I/D).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,8 +71,8 @@ impl MapClass {
 pub struct AlignmentRecord {
     /// Read identifier (empty when aligning a bare sequence).
     pub read_id: String,
-    /// Contig name.
-    pub contig: String,
+    /// Contig name (interned: cloning is an atomic refcount bump, not a heap copy).
+    pub contig: Arc<str>,
     /// 0-based position on the contig of the first aligned base.
     pub pos: u64,
     /// True when the read aligned as its reverse complement.
@@ -168,13 +171,20 @@ fn mapq_for(n_hits: u32) -> u8 {
 pub struct Aligner<'i> {
     index: &'i StarIndex,
     params: AlignParams,
+    /// Interned contig names, indexed like `genome().spans()`.
+    contig_names: Vec<Arc<str>>,
+    /// Deeper runtime-only prefix tables cached on the index (deepest first);
+    /// never serialized, never change search results (see [`PrefixTable::deepen`]).
+    deep_prefix: &'i [PrefixTable],
 }
 
 impl<'i> Aligner<'i> {
     /// Create an aligner. Panics if `params` are invalid (validate first if unsure).
     pub fn new(index: &'i StarIndex, params: AlignParams) -> Aligner<'i> {
         params.validate().expect("invalid alignment parameters");
-        Aligner { index, params }
+        let contig_names =
+            index.genome().spans().iter().map(|s| Arc::from(s.name.as_str())).collect();
+        Aligner { index, params, contig_names, deep_prefix: index.deep_prefix() }
     }
 
     /// The parameters in use.
@@ -196,23 +206,42 @@ impl<'i> Aligner<'i> {
         out
     }
 
+    /// Align a FASTQ record without cloning its id into the record. The caller (the
+    /// run driver) attaches ids afterwards, and only when records are actually kept.
+    /// `materialize: false` skips building the [`AlignmentRecord`] entirely (class,
+    /// work, and candidate counts are still exact).
+    pub(crate) fn align_read_lean(&self, read: &FastqRecord, materialize: bool) -> AlignOutcome {
+        with_thread_scratch(|scratch| self.align_seq_with(&read.seq, scratch, materialize))
+    }
+
     /// Enumerate deduplicated candidate window alignments for a read, both
-    /// orientations. Shared by single-end and paired-end alignment.
-    pub(crate) fn candidates(&self, seq: &DnaSeq) -> (Vec<(bool, WindowAlignment)>, PhaseWork) {
+    /// orientations, into pooled buffers. Shared by single-end and paired-end
+    /// alignment. After return, `out` holds candidates ordered by
+    /// `(strand, gstart)` with exactly one (best-scoring, earliest-found) entry per
+    /// locus — identical contents and order to the historical sort+dedup on a fresh
+    /// `Vec`.
+    pub(crate) fn candidates_into(
+        &self,
+        seq: &DnaSeq,
+        core: &mut ScratchCore,
+        out: &mut CandSet,
+    ) -> PhaseWork {
+        out.clear();
         let read_len = seq.len();
         let mut work = PhaseWork::default();
         if read_len == 0 {
-            return (Vec::new(), work);
+            return work;
         }
         let genome = self.index.genome();
-        let mut candidates: Vec<(bool, WindowAlignment)> = Vec::new();
-        let rc = seq.reverse_complement();
-        for (is_rc, codes) in [(false, seq.codes()), (true, rc.codes())] {
-            let seeds = collect_seeds(self.index, codes, &self.params);
+        let ScratchCore { rc, seeds, stitch, chains } = core;
+        rc.clear();
+        rc.extend(seq.codes().iter().rev().map(|&c| 3 - c));
+        for (is_rc, codes) in [(false, seq.codes()), (true, &rc[..])] {
+            collect_seeds_with(self.index, self.deep_prefix, codes, &self.params, seeds);
             work.seed_units += seeds.len() as u64;
-            let chains = best_chains(&seeds, read_len, &self.params);
-            work.stitch_units += chains.len() as u64;
-            for chain in chains {
+            best_chains_into(seeds, read_len, &self.params, stitch, chains);
+            work.stitch_units += chains.len as u64;
+            for chain in chains.live() {
                 // Chains must stay within one contig (stitching across the
                 // concatenation boundary is meaningless).
                 let span_len = chain.gend() - chain.gstart();
@@ -220,20 +249,14 @@ impl<'i> Aligner<'i> {
                     continue;
                 }
                 work.extend_units += 1;
-                if let Some(wa) =
-                    extend_chain(&chain, codes, genome, self.index.sjdb(), &self.params)
-                {
-                    candidates.push((is_rc, wa));
+                let wa = out.slot(is_rc);
+                if extend_chain_into(chain, codes, genome, self.index.sjdb(), &self.params, wa) {
+                    out.commit();
                 }
             }
         }
-        // Dedupe identical loci (the same alignment can be reached via different
-        // chains), keeping the best score per (strand, gstart).
-        candidates.sort_by(|a, b| {
-            (a.0, a.1.gstart, std::cmp::Reverse(a.1.score)).cmp(&(b.0, b.1.gstart, std::cmp::Reverse(b.1.score)))
-        });
-        candidates.dedup_by(|a, b| a.0 == b.0 && a.1.gstart == b.1.gstart);
-        (candidates, work)
+        out.finalize();
+        work
     }
 
     /// Build the public record for a candidate (contig-local coordinates).
@@ -243,7 +266,7 @@ impl<'i> Aligner<'i> {
         let span = &genome.spans()[contig_idx];
         AlignmentRecord {
             read_id: String::new(),
-            contig: span.name.clone(),
+            contig: self.contig_names[contig_idx].clone(),
             pos: local,
             reverse: is_rc,
             junctions: wa
@@ -267,8 +290,20 @@ impl<'i> Aligner<'i> {
             && mm_frac <= self.params.max_mismatch_over_read_len
     }
 
-    /// Align a bare sequence.
+    /// Align a bare sequence (uses this thread's scratch buffers).
     pub fn align_seq(&self, seq: &DnaSeq) -> AlignOutcome {
+        with_thread_scratch(|scratch| self.align_seq_with(seq, scratch, true))
+    }
+
+    /// Align a bare sequence through caller-provided scratch buffers. With
+    /// `materialize: false` the [`AlignmentRecord`] is skipped (classification,
+    /// candidate counts, and phase work are still exact).
+    pub fn align_seq_with(
+        &self,
+        seq: &DnaSeq,
+        scratch: &mut AlignScratch,
+        materialize: bool,
+    ) -> AlignOutcome {
         let read_len = seq.len();
         if read_len == 0 {
             return AlignOutcome {
@@ -278,25 +313,25 @@ impl<'i> Aligner<'i> {
                 work: PhaseWork::default(),
             };
         }
-        let (candidates, work) = self.candidates(seq);
-        let candidates_examined = candidates.len() as u32;
-        if candidates.is_empty() {
+        let AlignScratch { core, cands, .. } = scratch;
+        let work = self.candidates_into(seq, core, cands);
+        let candidates_examined = cands.len() as u32;
+        if cands.is_empty() {
             return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined, work };
         }
 
-        let best_score = candidates.iter().map(|(_, wa)| wa.score).max().expect("non-empty");
-        let (best_rc, best_wa) = candidates
+        let best_score = cands.iter().map(|(_, wa)| wa.score).max().expect("non-empty");
+        let (best_rc, best_wa) = cands
             .iter()
             .find(|(_, wa)| wa.score == best_score)
-            .cloned()
             .expect("best exists");
 
         // Output filters (on the best alignment, like STAR).
-        if !self.passes_filters(&best_wa, read_len) {
+        if !self.passes_filters(best_wa, read_len) {
             return AlignOutcome { class: MapClass::Unmapped, primary: None, candidates_examined, work };
         }
 
-        let n_hits = candidates
+        let n_hits = cands
             .iter()
             .filter(|(_, wa)| wa.score + self.params.multimap_score_range >= best_score)
             .count() as u32;
@@ -308,8 +343,8 @@ impl<'i> Aligner<'i> {
             MapClass::TooMany(n_hits)
         };
 
-        let record = self.record_for(best_rc, &best_wa, n_hits);
-        AlignOutcome { class, primary: Some(record), candidates_examined, work }
+        let primary = materialize.then(|| self.record_for(*best_rc, best_wa, n_hits));
+        AlignOutcome { class, primary, candidates_examined, work }
     }
 }
 
@@ -326,7 +361,7 @@ mod tests {
         DnaSeq::random(&mut StdRng::seed_from_u64(seed), len)
     }
 
-    fn build_index(contigs: Vec<(&str, DnaSeq)>, ann: Annotation) -> StarIndex {
+    fn build_index<S: Into<String>>(contigs: Vec<(S, DnaSeq)>, ann: Annotation) -> StarIndex {
         let asm = Assembly {
             name: "T".into(),
             release: 1,
@@ -347,7 +382,7 @@ mod tests {
         let out = aligner.align_seq(&chr.subseq(1200, 1300));
         assert_eq!(out.class, MapClass::Unique);
         let rec = out.primary.unwrap();
-        assert_eq!(rec.contig, "1");
+        assert_eq!(&*rec.contig, "1");
         assert_eq!(rec.pos, 1200);
         assert!(!rec.reverse);
         assert_eq!(rec.mapq, 255);
@@ -389,7 +424,7 @@ mod tests {
         // 12 copies > default multimap cap of 10.
         let mut contigs = Vec::new();
         for i in 0..12 {
-            contigs.push((Box::leak(format!("c{i}").into_boxed_str()) as &str, unit.clone()));
+            contigs.push((format!("c{i}"), unit.clone()));
         }
         let idx = build_index(contigs, Annotation::default());
         let aligner = Aligner::new(&idx, AlignParams::default());

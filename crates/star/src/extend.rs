@@ -35,6 +35,28 @@ pub struct WindowAlignment {
 }
 
 impl WindowAlignment {
+    /// An empty alignment slot, for pooling.
+    pub(crate) fn empty() -> WindowAlignment {
+        WindowAlignment {
+            gstart: 0,
+            cigar: Vec::new(),
+            score: 0,
+            aligned: 0,
+            mismatches: 0,
+            junctions: Vec::new(),
+        }
+    }
+
+    /// Reset to empty, retaining the CIGAR/junction vector capacities.
+    pub(crate) fn reset(&mut self) {
+        self.gstart = 0;
+        self.cigar.clear();
+        self.score = 0;
+        self.aligned = 0;
+        self.mismatches = 0;
+        self.junctions.clear();
+    }
+
     /// Read bases matching the genome exactly.
     pub fn matched(&self) -> u32 {
         self.aligned - self.mismatches
@@ -52,7 +74,8 @@ impl WindowAlignment {
 /// Extend `chain` over `read_codes`, producing the scored alignment.
 ///
 /// Returns `None` for chains that violate the substitution-only invariants (callers
-/// filter these; they can only arise from pathological seed sets).
+/// filter these; they can only arise from pathological seed sets). Convenience
+/// wrapper over [`extend_chain_into`] for callers without a scratch slot.
 pub fn extend_chain(
     chain: &Chain,
     read_codes: &[u8],
@@ -60,17 +83,30 @@ pub fn extend_chain(
     sjdb: &SpliceJunctionDb,
     params: &AlignParams,
 ) -> Option<WindowAlignment> {
+    let mut out = WindowAlignment::empty();
+    extend_chain_into(chain, read_codes, genome, sjdb, params, &mut out).then_some(out)
+}
+
+/// Extend `chain` into a caller-provided (typically pooled) alignment slot. `out`
+/// must be reset; on `false` its contents are unspecified. Allocation-free except
+/// for CIGAR/junction growth beyond `out`'s retained capacity.
+pub(crate) fn extend_chain_into(
+    chain: &Chain,
+    read_codes: &[u8],
+    genome: &PackedGenome,
+    sjdb: &SpliceJunctionDb,
+    params: &AlignParams,
+    out: &mut WindowAlignment,
+) -> bool {
     let seeds = &chain.seeds;
     if seeds.is_empty() {
-        return None;
+        return false;
     }
     let codes = genome.codes();
     let read_len = read_codes.len();
 
-    let mut cigar: Vec<CigarOp> = Vec::new();
     let mut aligned = 0u32;
     let mut mismatches = 0u32;
-    let mut junctions = Vec::new();
     let mut splice_penalty = 0i32;
     // Length of the M run accumulating toward the next cigar push. Signed because a
     // splice split may shift into the flanking seeds (see `best_split`); it is
@@ -87,7 +123,10 @@ pub fn extend_chain(
     {
         let mut score = 0i32;
         let mut best_score = 0i32;
-        let mut mm_at = Vec::new();
+        // Mismatches seen so far / at the best prefix: a running counter recorded
+        // whenever the best extension advances replaces the old position list.
+        let mut mm = 0u32;
+        let mut best_mm = 0u32;
         for i in 1..=left_room {
             let r = read_codes[first.read_pos as usize - i];
             let g = codes[first.gpos as usize - i];
@@ -95,19 +134,20 @@ pub fn extend_chain(
                 score += 1;
             } else {
                 score -= params.mismatch_penalty;
-                mm_at.push(i);
+                mm += 1;
             }
             if score > best_score {
                 best_score = score;
                 best_ext = i;
+                best_mm = mm;
             }
         }
-        mismatches += mm_at.iter().filter(|&&i| i <= best_ext).count() as u32;
+        mismatches += best_mm;
     }
     let gstart = first.gpos - best_ext as u64;
     let left_clip = first.read_pos as usize - best_ext;
     if left_clip > 0 {
-        cigar.push(CigarOp::S(left_clip as u32));
+        out.cigar.push(CigarOp::S(left_clip as u32));
     }
     m_run = best_ext as i64;
     aligned += best_ext as u32;
@@ -120,7 +160,7 @@ pub fn extend_chain(
         let read_gap = (b.read_pos - a.read_end()) as usize;
         let genome_gap = (b.gpos - a.gend()) as usize;
         if genome_gap < read_gap {
-            return None; // would need an insertion; not representable
+            return false; // would need an insertion; not representable
         }
         if genome_gap == read_gap {
             // Mismatch run: compare base by base.
@@ -140,7 +180,7 @@ pub fn extend_chain(
             // of an intron otherwise make the junction position ambiguous).
             let intron_len = genome_gap - read_gap;
             if intron_len as u64 > params.max_intron_len {
-                return None;
+                return false;
             }
             let (split, mm, class) = best_split(
                 read_codes, codes, genome, sjdb, a, b, read_gap, intron_len, m_run - 1,
@@ -155,9 +195,9 @@ pub fn extend_chain(
                 SpliceClass::Canonical => params.canonical_splice_penalty,
                 SpliceClass::NonCanonical => params.noncanonical_splice_penalty,
             };
-            junctions.push((intron_start, intron_end, class));
-            cigar.push(CigarOp::M(m_run as u32));
-            cigar.push(CigarOp::N(intron_len as u32));
+            out.junctions.push((intron_start, intron_end, class));
+            out.cigar.push(CigarOp::M(m_run as u32));
+            out.cigar.push(CigarOp::N(intron_len as u32));
             m_run = read_gap as i64 - split;
         }
         m_run += b.len as i64;
@@ -174,7 +214,8 @@ pub fn extend_chain(
     {
         let mut score = 0i32;
         let mut best_score = 0i32;
-        let mut mm_at = Vec::new();
+        let mut mm = 0u32;
+        let mut best_mm = 0u32;
         for i in 0..right_room {
             let r = read_codes[last.read_end() as usize + i];
             let g = codes[last.gend() as usize + i];
@@ -182,28 +223,32 @@ pub fn extend_chain(
                 score += 1;
             } else {
                 score -= params.mismatch_penalty;
-                mm_at.push(i + 1);
+                mm += 1;
             }
             if score > best_score {
                 best_score = score;
                 best_ext_r = i + 1;
+                best_mm = mm;
             }
         }
-        mismatches += mm_at.iter().filter(|&&i| i <= best_ext_r).count() as u32;
+        mismatches += best_mm;
     }
     m_run += best_ext_r as i64;
     aligned += best_ext_r as u32;
     if m_run > 0 {
-        cigar.push(CigarOp::M(m_run as u32));
+        out.cigar.push(CigarOp::M(m_run as u32));
     }
     let right_clip = read_len - last.read_end() as usize - best_ext_r;
     if right_clip > 0 {
-        cigar.push(CigarOp::S(right_clip as u32));
+        out.cigar.push(CigarOp::S(right_clip as u32));
     }
 
     let matched = aligned - mismatches;
-    let score = matched as i32 - (mismatches as i32) * params.mismatch_penalty - splice_penalty;
-    Some(WindowAlignment { gstart, cigar, score, aligned, mismatches, junctions })
+    out.gstart = gstart;
+    out.aligned = aligned;
+    out.mismatches = mismatches;
+    out.score = matched as i32 - (mismatches as i32) * params.mismatch_penalty - splice_penalty;
+    true
 }
 
 /// Bound on how far a splice split may shift into the flanking seeds.
@@ -242,15 +287,6 @@ fn best_split(
     };
     let shift_a = MAX_SJ_SHIFT.min(max_left_shift).min(intron_len as i64).max(0);
     let shift_b = MAX_SJ_SHIFT.min(b.len as i64 - 1).min(intron_len as i64).max(0);
-    let mut order: Vec<i64> = (0..=read_gap as i64).collect();
-    for k in 1..=MAX_SJ_SHIFT {
-        if k <= shift_a {
-            order.push(-k);
-        }
-        if k <= shift_b {
-            order.push(read_gap as i64 + k);
-        }
-    }
     // Mismatches are counted over the same read window for every candidate: the gap
     // plus the shiftable margins of both seeds.
     let win_lo = a.read_end() as i64 - shift_a;
@@ -258,25 +294,41 @@ fn best_split(
     let left_off = a.gend() as i64 - a.read_end() as i64;
     let right_off = b.gpos as i64 - b.read_pos as i64;
     let mut best: Option<(i64, u32, SpliceClass)> = None;
-    for &split in &order {
-        let junction = a.read_end() as i64 + split;
-        let mut mm = 0u32;
-        for x in win_lo..win_hi {
-            let off = if x < junction { left_off } else { right_off };
-            if read_codes[x as usize] != codes[(x + off) as usize] {
-                mm += 1;
+    // Candidates are generated in place of the old order vector: unshifted splits
+    // first, then the ±k shifted ones — the order matters because a later
+    // candidate only wins by being strictly better.
+    {
+        let mut consider = |split: i64| {
+            let junction = a.read_end() as i64 + split;
+            let mut mm = 0u32;
+            for x in win_lo..win_hi {
+                let off = if x < junction { left_off } else { right_off };
+                if read_codes[x as usize] != codes[(x + off) as usize] {
+                    mm += 1;
+                }
             }
-        }
-        let intron_start = (a.gend() as i64 + split) as u64;
-        let class = sjdb.classify(genome, intron_start, intron_start + intron_len as u64);
-        let better = match best {
-            None => true,
-            Some((_, best_mm, best_class)) => {
-                (mm, class_rank(class)) < (best_mm, class_rank(best_class))
-            }
-        };
+            let intron_start = (a.gend() as i64 + split) as u64;
+            let class = sjdb.classify(genome, intron_start, intron_start + intron_len as u64);
+            let better = match best {
+                None => true,
+                Some((_, best_mm, best_class)) => {
+                    (mm, class_rank(class)) < (best_mm, class_rank(best_class))
+                }
+            };
         if better {
             best = Some((split, mm, class));
+        }
+    };
+        for split in 0..=read_gap as i64 {
+            consider(split);
+        }
+        for k in 1..=MAX_SJ_SHIFT {
+            if k <= shift_a {
+                consider(-k);
+            }
+            if k <= shift_b {
+                consider(read_gap as i64 + k);
+            }
         }
     }
     best.expect("split 0 always evaluated")

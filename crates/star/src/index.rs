@@ -61,6 +61,10 @@ pub struct StarIndex {
     sa: SuffixArray,
     prefix: PrefixTable,
     sjdb: SpliceJunctionDb,
+    /// Deeper runtime-only prefix tables for the seed hot path, built lazily on
+    /// first use and cached for the index's lifetime. Not part of the on-disk
+    /// format ([`StarIndex::serialize`] skips it) and excluded from [`IndexStats`].
+    deep: std::sync::OnceLock<Vec<PrefixTable>>,
     /// Assembly name recorded for provenance (e.g. `"GRCh38-sim"`).
     pub assembly_name: String,
     /// Ensembl release the source assembly came from.
@@ -89,6 +93,7 @@ impl StarIndex {
             sa,
             prefix,
             sjdb,
+            deep: std::sync::OnceLock::new(),
             assembly_name: assembly.name.clone(),
             release: assembly.release,
         })
@@ -112,6 +117,14 @@ impl StarIndex {
     /// The splice-junction database.
     pub fn sjdb(&self) -> &SpliceJunctionDb {
         &self.sjdb
+    }
+
+    /// Deeper runtime-only prefix tables for the seed hot path (deepest first;
+    /// empty when the genome is too small to warrant one). Built on first call and
+    /// cached, so sharing one index across runs pays the construction cost once.
+    /// Search results are identical with or without them ([`PrefixTable::deepen`]).
+    pub fn deep_prefix(&self) -> &[PrefixTable] {
+        self.deep.get_or_init(|| PrefixTable::deepen(&self.sa, self.genome.codes(), self.prefix.k()))
     }
 
     /// Clone this index with additional sjdb junctions (global coordinates) — the
@@ -249,6 +262,7 @@ impl StarIndex {
             sa,
             prefix,
             sjdb: SpliceJunctionDb::from_raw(pairs),
+            deep: std::sync::OnceLock::new(),
             assembly_name,
             release,
         })

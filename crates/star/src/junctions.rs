@@ -7,6 +7,7 @@
 //! sjdb and the reads are re-aligned ([`crate::runner::Runner::run_two_pass`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::align::{AlignmentRecord, CigarOp, MapClass};
 use crate::sjdb::SpliceClass;
@@ -52,7 +53,7 @@ pub struct JunctionRow {
 /// Collects junction usage across a run.
 #[derive(Debug, Default)]
 pub struct JunctionCollector {
-    table: HashMap<(String, u64, u64), JunctionStats>,
+    table: HashMap<(Arc<str>, u64, u64), JunctionStats>,
 }
 
 impl JunctionCollector {
@@ -98,7 +99,7 @@ impl JunctionCollector {
             .table
             .into_iter()
             .map(|((contig, intron_start, intron_end), stats)| JunctionRow {
-                contig,
+                contig: String::from(&*contig),
                 intron_start,
                 intron_end,
                 stats,

@@ -67,6 +67,7 @@ pub mod progress;
 pub mod quant;
 pub mod runner;
 pub mod sa;
+pub mod scratch;
 pub mod sam;
 pub mod seed;
 pub mod sjdb;
@@ -80,3 +81,4 @@ pub use params::AlignParams;
 pub use junctions::{JunctionCollector, JunctionRow};
 pub use progress::{ProgressSnapshot, ProgressStats};
 pub use runner::{CancelToken, RunConfig, RunOutput, RunStatus, Runner};
+pub use scratch::AlignScratch;

@@ -6,6 +6,7 @@
 //! first `k` bases; the search stops at the first base that empties the interval.
 
 use crate::index::StarIndex;
+use crate::prefix::PrefixTable;
 use crate::sa::SaInterval;
 
 /// Result of one MMP search.
@@ -40,6 +41,22 @@ const DIRECT_EXTEND_MAX_INTERVAL: u32 = 16;
 /// non-empty; otherwise falls back to base-by-base refinement from the root so the
 /// returned length is the true MMP length in every case.
 pub fn mmp_search(index: &StarIndex, pattern: &[u8], from: usize) -> Mmp {
+    mmp_search_with(index, &[], pattern, from)
+}
+
+/// [`mmp_search`] with optional deeper runtime-only prefix tables
+/// ([`PrefixTable::deepen`], deepest first). The search starts from the deepest
+/// layer whose bucket hits, with an interval `4^(d - k)` times smaller than the base
+/// bucket; layers that miss (query too short or `d`-mer absent from the genome) fall
+/// through to the next, ending at the base table exactly as [`mmp_search`]. Results
+/// are identical either way: a `d`-mer bucket is the interval refinement from depth
+/// `k` would reach at depth `d`.
+pub fn mmp_search_with(
+    index: &StarIndex,
+    deep: &[PrefixTable],
+    pattern: &[u8],
+    from: usize,
+) -> Mmp {
     let codes = index.genome().codes();
     let sa = index.sa();
     let query = &pattern[from..];
@@ -47,18 +64,29 @@ pub fn mmp_search(index: &StarIndex, pattern: &[u8], from: usize) -> Mmp {
         return Mmp { start: from, len: 0, interval: SaInterval { lo: 0, hi: 0 } };
     }
 
-    let mut iv;
-    let mut depth;
-    match index.prefix().lookup(query) {
-        Some(bucket) if !bucket.is_empty() => {
+    let mut iv = SaInterval { lo: 0, hi: 0 };
+    let mut depth = 0;
+    let mut hit = false;
+    for layer in deep {
+        if let Some(bucket) = layer.lookup(query).filter(|b| !b.is_empty()) {
             iv = bucket;
-            depth = index.prefix().k();
+            depth = layer.k();
+            hit = true;
+            break;
         }
-        _ => {
-            // Either the query is shorter than k, or its k-mer is absent: refine from
-            // the root to find the exact stopping point.
-            iv = sa.full();
-            depth = 0;
+    }
+    if !hit {
+        match index.prefix().lookup(query) {
+            Some(bucket) if !bucket.is_empty() => {
+                iv = bucket;
+                depth = index.prefix().k();
+            }
+            _ => {
+                // Either the query is shorter than k, or its k-mer is absent: refine
+                // from the root to find the exact stopping point.
+                iv = sa.full();
+                depth = 0;
+            }
         }
     }
 
@@ -202,6 +230,44 @@ mod tests {
                     assert_eq!(&text[pos..pos + m.len], &q.to_string()[..m.len]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn deep_table_never_changes_results() {
+        use crate::prefix::PrefixTable;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        let text_seq = DnaSeq::random(&mut rng, 5000);
+        let text = text_seq.to_string();
+        let idx = index_of(&text);
+        let deep = PrefixTable::deepen(idx.sa(), idx.genome().codes(), idx.prefix().k());
+        assert!(!deep.is_empty(), "5kb genome supports a deeper table");
+        assert!(deep.iter().all(|t| t.k() > idx.prefix().k()));
+        for i in 0..500 {
+            // Mix pure-random queries with genomic and near-genomic ones so both the
+            // deep-hit and deep-miss fallback paths are exercised.
+            let q = match i % 3 {
+                0 => {
+                    let qlen = rng.gen_range(1..80usize);
+                    DnaSeq::random(&mut rng, qlen)
+                }
+                1 => {
+                    let s = rng.gen_range(0..text.len() - 80);
+                    text[s..s + rng.gen_range(1..80usize)].parse::<DnaSeq>().unwrap()
+                }
+                _ => {
+                    let s = rng.gen_range(0..text.len() - 80);
+                    let mut codes = text[s..s + 60].parse::<DnaSeq>().unwrap().codes().to_vec();
+                    let flip = rng.gen_range(0..codes.len());
+                    codes[flip] = (codes[flip] + rng.gen_range(1..4u8)) % 4;
+                    DnaSeq::from_codes(codes)
+                }
+            };
+            let plain = mmp_search(&idx, q.codes(), 0);
+            let fast = mmp_search_with(&idx, &deep, q.codes(), 0);
+            assert_eq!(plain, fast, "query {q}");
         }
     }
 

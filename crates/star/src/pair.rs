@@ -10,6 +10,7 @@
 
 use crate::align::{Aligner, AlignmentRecord, MapClass, PhaseWork};
 use crate::extend::WindowAlignment;
+use crate::scratch::{with_thread_scratch, AlignScratch};
 use genomics::FastqRecord;
 
 /// Insert-size acceptance window for proper pairs.
@@ -62,13 +63,14 @@ impl PairOutcome {
     }
 }
 
-/// One scored candidate pairing.
-struct CandidatePair {
-    rc1: bool,
-    i1: usize,
-    i2: usize,
-    score: i32,
-    insert: u64,
+/// One scored candidate pairing (pooled in [`AlignScratch`]).
+#[derive(Debug)]
+pub(crate) struct CandidatePair {
+    pub(crate) rc1: bool,
+    pub(crate) i1: usize,
+    pub(crate) i2: usize,
+    pub(crate) score: i32,
+    pub(crate) insert: u64,
 }
 
 impl<'i> Aligner<'i> {
@@ -79,20 +81,53 @@ impl<'i> Aligner<'i> {
 
     /// Align a read pair with explicit insert-size bounds.
     pub fn align_pair_with(&self, r1: &FastqRecord, r2: &FastqRecord, pp: &PairParams) -> PairOutcome {
+        let mut out =
+            with_thread_scratch(|scratch| self.align_pair_scratch(r1, r2, pp, scratch, true));
+        if let Some(rec) = &mut out.rec1 {
+            rec.read_id = r1.id.clone();
+        }
+        if let Some(rec) = &mut out.rec2 {
+            rec.read_id = r2.id.clone();
+        }
+        out
+    }
+
+    /// Align a read pair without cloning ids into the records (the run driver
+    /// attaches ids only when records are kept). `materialize: false` skips
+    /// building records entirely.
+    pub(crate) fn align_pair_lean(
+        &self,
+        r1: &FastqRecord,
+        r2: &FastqRecord,
+        pp: &PairParams,
+        materialize: bool,
+    ) -> PairOutcome {
+        with_thread_scratch(|scratch| self.align_pair_scratch(r1, r2, pp, scratch, materialize))
+    }
+
+    /// Pair alignment through caller-provided scratch buffers.
+    fn align_pair_scratch(
+        &self,
+        r1: &FastqRecord,
+        r2: &FastqRecord,
+        pp: &PairParams,
+        scratch: &mut AlignScratch,
+        materialize: bool,
+    ) -> PairOutcome {
         let genome = self.index().genome();
-        let (c1, w1) = self.candidates(&r1.seq);
-        let (c2, w2) = self.candidates(&r2.seq);
-        let mut work = w1;
+        let AlignScratch { core, cands, cands2, pairs } = scratch;
+        let mut work = self.candidates_into(&r1.seq, core, cands);
+        let w2 = self.candidates_into(&r2.seq, core, cands2);
         work.add(&w2);
-        if c1.is_empty() || c2.is_empty() {
+        if cands.is_empty() || cands2.is_empty() {
             return PairOutcome::unmapped(0, work);
         }
 
         // Enumerate proper pairings: opposite orientation, same contig, facing
         // inward, insert within bounds.
-        let mut pairs: Vec<CandidatePair> = Vec::new();
-        for (i1, (rc1, wa1)) in c1.iter().enumerate() {
-            for (i2, (rc2, wa2)) in c2.iter().enumerate() {
+        pairs.clear();
+        for (i1, (rc1, wa1)) in cands.iter().enumerate() {
+            for (i2, (rc2, wa2)) in cands2.iter().enumerate() {
                 if rc1 == rc2 {
                     continue; // FR libraries: mates land on opposite strands
                 }
@@ -137,8 +172,8 @@ impl<'i> Aligner<'i> {
             .max_by_key(|p| (p.score, std::cmp::Reverse(p.insert)))
             .expect("non-empty");
 
-        let (rc1, wa1) = &c1[best.i1];
-        let (_, wa2) = &c2[best.i2];
+        let (rc1, wa1) = cands.get(best.i1);
+        let (_, wa2) = cands2.get(best.i2);
         // Both mates must pass the per-read filters.
         if !self.passes_filters(wa1, r1.seq.len()) || !self.passes_filters(wa2, r2.seq.len()) {
             return PairOutcome::unmapped(pairs_examined, work);
@@ -150,15 +185,19 @@ impl<'i> Aligner<'i> {
         } else {
             MapClass::TooMany(n_hits)
         };
-        let mut rec1 = self.record_for(*rc1, wa1, n_hits);
-        rec1.read_id = r1.id.clone();
-        let mut rec2 = self.record_for(!*rc1, wa2, n_hits);
-        rec2.read_id = r2.id.clone();
         let _ = best.rc1;
+        let (rec1, rec2) = if materialize {
+            (
+                Some(self.record_for(*rc1, wa1, n_hits)),
+                Some(self.record_for(!*rc1, wa2, n_hits)),
+            )
+        } else {
+            (None, None)
+        };
         PairOutcome {
             class,
-            rec1: Some(rec1),
-            rec2: Some(rec2),
+            rec1,
+            rec2,
             insert_size: Some(best.insert),
             pairs_examined,
             work,
@@ -216,8 +255,8 @@ mod tests {
                 let ReadOrigin::Genomic { contig, pos } = &pair.origin else { unreachable!() };
                 let rec1 = out.rec1.as_ref().unwrap();
                 let rec2 = out.rec2.as_ref().unwrap();
-                assert_eq!(&rec1.contig, contig);
-                assert_eq!(&rec2.contig, contig);
+                assert_eq!(&*rec1.contig, contig.as_str());
+                assert_eq!(&*rec2.contig, contig.as_str());
                 assert!(rec1.reverse != rec2.reverse, "FR orientation");
                 // Fragment start recovered (the forward mate's position).
                 let fwd_pos = if rec1.reverse { rec2.pos } else { rec1.pos };
@@ -342,7 +381,7 @@ mod tests {
         );
         let out = aligner.align_pair(&r1, &r2);
         assert_eq!(out.class, MapClass::Unique, "pairing must disambiguate");
-        assert_eq!(out.rec1.unwrap().contig, "1");
+        assert_eq!(&*out.rec1.unwrap().contig, "1");
     }
 
     #[test]

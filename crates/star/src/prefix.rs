@@ -31,17 +31,32 @@ impl PrefixTable {
     }
 
     /// Build the table by a single scan over the suffix array.
+    ///
+    /// The k-mer at every genome position is precomputed with one rolling pass
+    /// (`kmers[i] = codes[i] · 4^(k-1) + kmers[i+1] / 4`), so the SA scan does one
+    /// table lookup per suffix instead of re-packing `k` bases — O(n) total rather
+    /// than O(nk).
     pub fn build(sa: &SuffixArray, codes: &[u8], k: usize) -> PrefixTable {
         assert!((1..=13).contains(&k), "prefix depth {k} unsupported");
         let buckets = 1usize << (2 * k);
         let mut starts = vec![u32::MAX; buckets];
         let mut ends = vec![0u32; buckets];
+        let n = codes.len();
+        let mut kmers: Vec<u32> = Vec::new();
+        if n >= k {
+            kmers = vec![0u32; n - k + 1];
+            let last = n - k;
+            kmers[last] = kmer_value(&codes[last..last + k]) as u32;
+            for i in (0..last).rev() {
+                kmers[i] = ((codes[i] as u32) << (2 * (k - 1))) | (kmers[i + 1] >> 2);
+            }
+        }
         for (slot, &pos) in sa.positions().iter().enumerate() {
             let pos = pos as usize;
-            if pos + k > codes.len() {
+            if pos >= kmers.len() {
                 continue; // suffix too short to be addressable through the table
             }
-            let m = kmer_value(&codes[pos..pos + k]);
+            let m = kmers[pos] as usize;
             let slot = slot as u32;
             if starts[m] == u32::MAX {
                 starts[m] = slot;
@@ -75,6 +90,28 @@ impl PrefixTable {
             return Some(SaInterval { lo: 0, hi: 0 });
         }
         Some(SaInterval { lo, hi: self.ends[m] })
+    }
+
+    /// Build deeper companion tables for the alignment hot path, deepest first.
+    ///
+    /// Seed search spends most of its time probing every suffix of the starting
+    /// `k`-mer bucket against the genome; a deeper table shrinks that starting
+    /// interval by `4^(d-k)` without changing any search result (the `d`-mer bucket
+    /// is exactly the interval refinement from depth `k` would reach at depth `d`).
+    /// Depths `k+2` and `k+1` are built when each fits within 4× the genome length
+    /// in buckets (≤ 13), bounding the tables at ~40 bytes per genome base combined.
+    /// The shallower layer matters on reverse-complement strands: their `k+2`-mers
+    /// are frequently absent from the genome, and falling all the way back to the
+    /// base bucket would pay the full per-suffix scan the deep table exists to skip.
+    /// These tables are runtime-only: rebuilt by [`crate::align::Aligner::new`] and
+    /// never serialized, so index files and their digests are unaffected.
+    pub fn deepen(sa: &SuffixArray, codes: &[u8], base_k: usize) -> Vec<PrefixTable> {
+        let max_d = (base_k + 2).min(13);
+        (base_k + 1..=max_d)
+            .rev()
+            .filter(|&d| (1usize << (2 * d)) <= 4 * codes.len())
+            .map(|d| PrefixTable::build(sa, codes, d))
+            .collect()
     }
 
     /// Bytes of memory/disk the table occupies.

@@ -139,7 +139,7 @@ impl GeneCounter {
 
     /// Genes whose exons overlap any aligned (M) block of the record.
     fn overlapping_genes(&self, rec: &AlignmentRecord) -> Vec<usize> {
-        let Some(exons) = self.exons_by_contig.get(&rec.contig) else {
+        let Some(exons) = self.exons_by_contig.get(&*rec.contig) else {
             return Vec::new();
         };
         let mut hits: Vec<usize> = Vec::new();

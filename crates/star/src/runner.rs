@@ -1,14 +1,17 @@
 //! Multi-threaded alignment run driver (`--runThreadN` analog) with the cooperative
 //! cancellation hook that early stopping plugs into.
 //!
-//! Reads are processed in batches; each batch is aligned in parallel on a dedicated
-//! rayon pool, progress counters are updated, and a [`RunMonitor`] is consulted
-//! between batches. A monitor that returns [`MonitorVerdict::Abort`] stops the run —
-//! exactly how the paper's pipeline kills STAR when `Log.progress.out` shows a
-//! sub-threshold mapping rate after the 10 % checkpoint.
+//! Reads are processed in batches; each batch is aligned in parallel on a shared
+//! rayon pool (one per thread count, process-wide — repeated runs and two-pass mode
+//! reuse threads and their warm per-thread scratch buffers instead of spawning new
+//! ones), progress counters are updated, and a [`RunMonitor`] is consulted between
+//! batches. A monitor that returns [`MonitorVerdict::Abort`] stops the run — exactly
+//! how the paper's pipeline kills STAR when `Log.progress.out` shows a sub-threshold
+//! mapping rate after the 10 % checkpoint.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -158,23 +161,40 @@ impl RunOutput {
     }
 }
 
+/// Process-wide rayon pool per thread count. Building a pool spawns OS threads —
+/// doing that once per [`Runner`] (let alone per run) wastes startup time and
+/// discards the per-thread alignment scratch the workers have warmed up; sharing
+/// keeps both across runners, runs and two-pass re-alignment.
+fn shared_pool(threads: usize) -> Result<Arc<rayon::ThreadPool>, StarError> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    let mut pools =
+        POOLS.get_or_init(|| Mutex::new(HashMap::new())).lock().expect("pool registry poisoned");
+    if let Some(pool) = pools.get(&threads) {
+        return Ok(Arc::clone(pool));
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| StarError::InvalidParams(format!("thread pool: {e}")))?;
+    let pool = Arc::new(pool);
+    pools.insert(threads, Arc::clone(&pool));
+    Ok(pool)
+}
+
 /// The run driver, borrowing an index for its lifetime.
 pub struct Runner<'i> {
     index: &'i StarIndex,
     align_params: AlignParams,
     config: RunConfig,
-    pool: rayon::ThreadPool,
+    pool: Arc<rayon::ThreadPool>,
 }
 
 impl<'i> Runner<'i> {
-    /// Create a runner with its own thread pool.
+    /// Create a runner on the shared thread pool for `config.threads`.
     pub fn new(index: &'i StarIndex, align_params: AlignParams, config: RunConfig) -> Result<Runner<'i>, StarError> {
         align_params.validate()?;
         config.validate()?;
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(config.threads)
-            .build()
-            .map_err(|e| StarError::InvalidParams(format!("thread pool: {e}")))?;
+        let pool = shared_pool(config.threads)?;
         Ok(Runner { index, align_params, config, pool })
     }
 
@@ -205,6 +225,10 @@ impl<'i> Runner<'i> {
         let mut kept: Vec<AlignmentRecord> = Vec::new();
         let mut phase_work = PhaseWork::default();
         let mut status = RunStatus::Completed;
+        // Records are only materialized when a downstream consumer exists; pure
+        // mapping-rate runs skip building them (and every allocation they imply).
+        let want_record =
+            counter.is_some() || junction_collector.is_some() || self.config.record_alignments;
 
         'batches: for batch in reads.chunks(self.config.batch_size) {
             if let Some(tok) = cancel {
@@ -213,19 +237,20 @@ impl<'i> Runner<'i> {
                     break 'batches;
                 }
             }
-            // Parallel alignment of the batch on our private pool.
+            // Parallel alignment of the batch on the shared pool.
             let outcomes: Vec<(MapClass, Option<AlignmentRecord>, PhaseWork)> =
                 self.pool.install(|| {
                     batch
                         .par_iter()
                         .map(|read| {
-                            let out = aligner.align_read(read);
+                            let out = aligner.align_read_lean(read, want_record);
                             (out.class, out.primary, out.work)
                         })
                         .collect()
                 });
-            // Sequential accounting (cheap relative to alignment).
-            for (class, primary, work) in outcomes {
+            // Sequential accounting (cheap relative to alignment). Read ids are
+            // attached here, and only to records that are actually kept.
+            for ((class, primary, work), read) in outcomes.into_iter().zip(batch) {
                 progress.record(class);
                 phase_work.add(&work);
                 if let Some(c) = counter.as_mut() {
@@ -235,8 +260,9 @@ impl<'i> Runner<'i> {
                     j.record(class, primary.as_ref());
                 }
                 if self.config.record_alignments {
-                    if let Some(rec) = primary {
+                    if let Some(mut rec) = primary {
                         if class.is_mapped() {
+                            rec.read_id = read.id.clone();
                             kept.push(rec);
                         }
                     }
@@ -288,6 +314,8 @@ impl<'i> Runner<'i> {
         let mut kept: Vec<AlignmentRecord> = Vec::new();
         let mut phase_work = PhaseWork::default();
         let mut status = RunStatus::Completed;
+        let want_record =
+            counter.is_some() || junction_collector.is_some() || self.config.record_alignments;
 
         'batches: for batch in pairs.chunks(self.config.batch_size) {
             if let Some(tok) = cancel {
@@ -297,9 +325,14 @@ impl<'i> Runner<'i> {
                 }
             }
             let outcomes: Vec<crate::pair::PairOutcome> = self.pool.install(|| {
-                batch.par_iter().map(|(r1, r2)| aligner.align_pair(r1, r2)).collect()
+                batch
+                    .par_iter()
+                    .map(|(r1, r2)| {
+                        aligner.align_pair_lean(r1, r2, &crate::pair::PairParams::default(), want_record)
+                    })
+                    .collect()
             });
-            for out in outcomes {
+            for (out, (r1, r2)) in outcomes.into_iter().zip(batch) {
                 progress.record(out.class);
                 phase_work.add(&out.work);
                 if let Some(c) = counter.as_mut() {
@@ -310,8 +343,14 @@ impl<'i> Runner<'i> {
                     j.record(out.class, out.rec2.as_ref());
                 }
                 if self.config.record_alignments && out.class.is_mapped() {
-                    kept.extend(out.rec1);
-                    kept.extend(out.rec2);
+                    if let Some(mut rec) = out.rec1 {
+                        rec.read_id = r1.id.clone();
+                        kept.push(rec);
+                    }
+                    if let Some(mut rec) = out.rec2 {
+                        rec.read_id = r2.id.clone();
+                        kept.push(rec);
+                    }
                 }
             }
             let snap = progress.snapshot();

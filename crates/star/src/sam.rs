@@ -128,7 +128,7 @@ fn pair_line(
     }
     let seq = if rec.reverse { read.seq.reverse_complement().to_string() } else { read.seq.to_string() };
     let qual: String = read.qual.iter().map(|&q| (q.min(60) + 33) as char).collect();
-    let rnext = if mate.contig == rec.contig { "=" } else { mate.contig.as_str() };
+    let rnext = if mate.contig == rec.contig { "=" } else { &*mate.contig };
     // TLEN sign: positive for the leftmost mate.
     let tlen = if rec.pos <= mate.pos { tlen.abs() } else { -tlen.abs() };
     format!(

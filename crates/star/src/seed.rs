@@ -11,8 +11,9 @@
 //! by the copy number.
 
 use crate::index::StarIndex;
-use crate::mmp::mmp_search;
+use crate::mmp::mmp_search_with;
 use crate::params::AlignParams;
+use crate::prefix::PrefixTable;
 
 /// One seed: an exact read↔genome match.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,13 +49,40 @@ impl Seed {
 }
 
 /// Collect seeds for `read_codes` (already oriented; the caller runs this once per
-/// strand). Returns seeds sorted by `read_pos`.
+/// strand). Returns seeds sorted by `read_pos`. Convenience wrapper over
+/// [`collect_seeds_into`] for callers without a reusable buffer.
 pub fn collect_seeds(index: &StarIndex, read_codes: &[u8], params: &AlignParams) -> Vec<Seed> {
     let mut seeds = Vec::new();
+    collect_seeds_into(index, read_codes, params, &mut seeds);
+    seeds
+}
+
+/// Collect seeds into a caller-provided buffer (cleared first; capacity retained
+/// across reads so the steady state allocates nothing).
+pub fn collect_seeds_into(
+    index: &StarIndex,
+    read_codes: &[u8],
+    params: &AlignParams,
+    seeds: &mut Vec<Seed>,
+) {
+    collect_seeds_with(index, &[], read_codes, params, seeds);
+}
+
+/// [`collect_seeds_into`] accelerated by optional deeper prefix tables
+/// ([`PrefixTable::deepen`], deepest first); seeds are identical with or without
+/// them.
+pub fn collect_seeds_with(
+    index: &StarIndex,
+    deep: &[PrefixTable],
+    read_codes: &[u8],
+    params: &AlignParams,
+    seeds: &mut Vec<Seed>,
+) {
+    seeds.clear();
     let mut from = 0usize;
     let genome = index.genome();
     while from < read_codes.len() && seeds.len() < params.max_seeds_per_read {
-        let m = mmp_search(index, read_codes, from);
+        let m = mmp_search_with(index, deep, read_codes, from);
         if m.len == 0 {
             from += 1;
             continue;
@@ -79,7 +107,6 @@ pub fn collect_seeds(index: &StarIndex, read_codes: &[u8], params: &AlignParams)
         from = m.start + m.len + 1;
     }
     seeds.sort_unstable_by_key(|s| (s.read_pos, s.gpos));
-    seeds
 }
 
 #[cfg(test)]

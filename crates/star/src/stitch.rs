@@ -6,6 +6,7 @@
 //! scored by [`crate::extend`].
 
 use crate::params::AlignParams;
+use crate::scratch::{ChainPool, StitchScratch};
 use crate::seed::Seed;
 
 /// A collinear chain of seeds within one genomic window.
@@ -55,66 +56,98 @@ pub fn gap_compatible(a: &Seed, b: &Seed, max_intron: u64) -> bool {
 /// and its scaffold copy — each produce their own candidate chain. Windows hold only
 /// a handful of seeds, so O(w²) is cheap.
 pub fn best_chains(seeds: &[Seed], read_len: usize, params: &AlignParams) -> Vec<Chain> {
+    let mut scratch = StitchScratch::default();
+    let mut pool = ChainPool::default();
+    best_chains_into(seeds, read_len, params, &mut scratch, &mut pool);
+    pool.chains.truncate(pool.len);
+    pool.chains
+}
+
+/// Allocation-free form of [`best_chains`]: windows and DP run on `scratch`'s
+/// buffers and chains are emitted into the pooled `out` (cleared first), so the
+/// steady state reuses every vector involved.
+pub(crate) fn best_chains_into(
+    seeds: &[Seed],
+    read_len: usize,
+    params: &AlignParams,
+    scratch: &mut StitchScratch,
+    out: &mut ChainPool,
+) {
+    out.clear();
     if seeds.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut by_gpos: Vec<&Seed> = seeds.iter().collect();
+    let StitchScratch { by_gpos, win, best_cov, prev, used_as_prev } = scratch;
+    by_gpos.clear();
+    by_gpos.extend_from_slice(seeds);
     by_gpos.sort_unstable_by_key(|s| s.gpos);
 
     let split_gap = params.max_intron_len + read_len as u64;
-    let mut chains = Vec::new();
-    let mut window: Vec<&Seed> = Vec::new();
-    for s in by_gpos {
-        if let Some(last) = window.last() {
-            if s.gpos.saturating_sub(last.gend()) > split_gap {
-                chain_window(&window, params, &mut chains);
-                window.clear();
-            }
+    let mut win_start = 0usize;
+    for i in 1..by_gpos.len() {
+        if by_gpos[i].gpos.saturating_sub(by_gpos[i - 1].gend()) > split_gap {
+            chain_window(&by_gpos[win_start..i], params, win, best_cov, prev, used_as_prev, out);
+            win_start = i;
         }
-        window.push(s);
     }
-    chain_window(&window, params, &mut chains);
-    chains
+    chain_window(&by_gpos[win_start..], params, win, best_cov, prev, used_as_prev, out);
 }
 
 /// DP over one window: maximize covered read bases over gap-compatible chains and
-/// emit one chain per terminal.
-fn chain_window(window: &[&Seed], params: &AlignParams, out: &mut Vec<Chain>) {
+/// emit one chain per terminal (a seed no better chain passes through).
+#[allow(clippy::too_many_arguments)]
+fn chain_window(
+    window: &[Seed],
+    params: &AlignParams,
+    win: &mut Vec<Seed>,
+    best_cov: &mut Vec<u32>,
+    prev: &mut Vec<u32>,
+    used_as_prev: &mut Vec<bool>,
+    out: &mut ChainPool,
+) {
     if window.is_empty() {
         return;
     }
     // Order by read position (then genome) for the DP.
-    let mut seeds: Vec<&Seed> = window.to_vec();
-    seeds.sort_unstable_by_key(|s| (s.read_pos, s.gpos));
+    win.clear();
+    win.extend_from_slice(window);
+    win.sort_unstable_by_key(|s| (s.read_pos, s.gpos));
 
-    let n = seeds.len();
-    let mut best_cov: Vec<u32> = seeds.iter().map(|s| s.len).collect();
-    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let n = win.len();
+    best_cov.clear();
+    best_cov.extend(win.iter().map(|s| s.len));
+    prev.clear();
+    prev.resize(n, u32::MAX); // MAX = chain start
     for i in 0..n {
         for j in 0..i {
-            if gap_compatible(seeds[j], seeds[i], params.max_intron_len) {
-                let cand = best_cov[j] + seeds[i].len;
+            if gap_compatible(&win[j], &win[i], params.max_intron_len) {
+                let cand = best_cov[j] + win[i].len;
                 if cand > best_cov[i] {
                     best_cov[i] = cand;
-                    prev[i] = Some(j);
+                    prev[i] = j as u32;
                 }
             }
         }
     }
     // Terminals: seeds that no chosen chain continues from.
-    let mut used_as_prev = vec![false; n];
-    for p in prev.iter().flatten() {
-        used_as_prev[*p] = true;
+    used_as_prev.clear();
+    used_as_prev.resize(n, false);
+    for i in 0..n {
+        if prev[i] != u32::MAX {
+            used_as_prev[prev[i] as usize] = true;
+        }
     }
     for end in (0..n).filter(|&i| !used_as_prev[i]) {
-        let mut order = Vec::new();
-        let mut cur = Some(end);
-        while let Some(i) = cur {
-            order.push(*seeds[i]);
-            cur = prev[i];
+        let chain = out.acquire();
+        let mut cur = end as u32;
+        loop {
+            chain.seeds.push(win[cur as usize]);
+            if prev[cur as usize] == u32::MAX {
+                break;
+            }
+            cur = prev[cur as usize];
         }
-        order.reverse();
-        out.push(Chain { seeds: order });
+        chain.seeds.reverse();
     }
 }
 

@@ -51,7 +51,7 @@ fn genomic_reads_align_to_their_true_position() {
         if let Some(rec) = out.primary.filter(|_| out.class.is_mapped()) {
             mapped += 1;
             // Soft clips can shift the reported start by a few bases.
-            if rec.contig == *contig && (rec.pos as i64 - *pos as i64).unsigned_abs() <= 5 {
+            if *rec.contig == **contig && (rec.pos as i64 - *pos as i64).unsigned_abs() <= 5 {
                 correct += 1;
             }
         }
