@@ -8,6 +8,10 @@ cargo test -q --release --offline --no-fail-fast
 # Telemetry schema is a published contract: pin it against the committed golden
 # explicitly so drift fails loudly even when the suite above is filtered.
 cargo test -q --release --offline -p telemetry schema_matches_golden
+# Same contract for the standard-format exporters: the fixed-seed mini-campaign's
+# Perfetto trace and OpenMetrics exposition are byte-pinned in tests/golden/.
+cargo test -q --release --offline -p atlas-integration-tests --test telemetry_export \
+    perfetto_and_openmetrics_exports_match_goldens
 cargo clippy --offline -- -D warnings
 
 # Benches must keep compiling (they are not covered by `cargo test`), and the
@@ -18,3 +22,9 @@ cargo clippy --offline -- -D warnings
 cargo build --release --offline -p atlas-bench --benches
 cargo build --release --offline -p atlas-bench --bin bench_compare
 ./target/release/bench_compare benchmarks/baseline benchmarks/baseline
+# Monitor-overhead gate: the committed campaign baselines were captured in the
+# same bench run on the same machine, so watching the campaign (live alert
+# rules + streamed progress + rendered exports) must stay within 2% of running
+# it unobserved. Refresh both files together (same `cargo bench` invocation).
+./target/release/bench_compare --overhead benchmarks/baseline \
+    BENCH_cloud_campaign.json BENCH_cloud_campaign_monitor.json --tolerance 0.02

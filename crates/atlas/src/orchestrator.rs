@@ -35,11 +35,14 @@ use cloudsim::metrics::FaultCounters;
 use cloudsim::retry::RetryPolicy;
 use cloudsim::sqs::ReceiptHandle;
 use cloudsim::{
-    EventQueue, ObjectStore, ScalingPolicy, SimDuration, SimTime, SpotMarket, SqsQueue, TimeSeries,
+    EventQueue, ObjectStore, ScalingPolicy, SimDuration, SimTime, SpotMarket, SqsQueue,
 };
 use deseq_norm::{CountsMatrix, NormalizedMatrix};
 use star_aligner::quant::Strandedness;
-use telemetry::{CampaignTelemetry, JsonValue, Recorder, SpanId, RATE_BUCKETS, SECS_BUCKETS};
+use telemetry::{
+    AlertEvent, CampaignTelemetry, JsonValue, Monitor, MonitorConfig, Recorder, SpanId,
+    TimeSeries, RATE_BUCKETS, SECS_BUCKETS,
+};
 
 /// Campaign configuration.
 #[derive(Clone, Debug)]
@@ -79,6 +82,12 @@ pub struct CampaignConfig {
     /// Record sim-time telemetry (spans, metrics, event log). Disabling swaps in
     /// a no-op recorder; campaign outcomes are identical either way.
     pub telemetry: bool,
+    /// Live alert rules evaluated against the telemetry stream *during* the
+    /// campaign (`None` = no monitor). Requires `telemetry`; like the recorder,
+    /// the monitor is strictly an observer — campaign outcomes are identical
+    /// with it on or off, but enabling it adds `progress` and `alert` events to
+    /// the log.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl CampaignConfig {
@@ -101,6 +110,7 @@ impl CampaignConfig {
             retry: RetryPolicy::default(),
             max_receive_count: None,
             telemetry: true,
+            monitor: None,
         }
     }
 
@@ -191,6 +201,10 @@ pub struct CampaignReport {
     /// from [`CampaignReport::summary_digest`]; its own determinism is covered
     /// by the telemetry replay test.
     pub telemetry: Option<CampaignTelemetry>,
+    /// Alerts the live monitor fired, in firing order (empty when
+    /// [`CampaignConfig::monitor`] is `None`). Excluded from
+    /// [`CampaignReport::summary_digest`] like the rest of the telemetry.
+    pub alerts: Vec<AlertEvent>,
 }
 
 impl CampaignReport {
@@ -299,6 +313,17 @@ impl Orchestrator {
             Arc::new(if cfg.telemetry { Recorder::new() } else { Recorder::disabled() });
         injector.attach_recorder(Arc::clone(&recorder));
         asg.attach_recorder(Arc::clone(&recorder));
+        // The monitor watches the stream through the recorder's observer hook;
+        // with telemetry off there is no stream, so no monitor either.
+        let monitor = if cfg.telemetry {
+            cfg.monitor.clone().map(|mc| {
+                let m = Monitor::new(mc);
+                recorder.attach_observer(m.observer());
+                m
+            })
+        } else {
+            None
+        };
         let campaign_span = recorder.span_start("campaign", SpanId::NONE, 0.0);
         let mut instance_spans: HashMap<InstanceId, SpanId> = HashMap::new();
         let mut dl_seen = 0usize;
@@ -442,8 +467,8 @@ impl Orchestrator {
                     });
                     fleet_series.record(now.as_secs(), asg.active_count() as f64);
                     busy_series.record(now.as_secs(), busy.len() as f64);
-                    recorder.gauge_set("fleet_active", asg.active_count() as f64);
-                    recorder.gauge_set("queue_pending", pending as f64);
+                    recorder.gauge_set_at(now.as_secs(), "fleet_active", asg.active_count() as f64);
+                    recorder.gauge_set_at(now.as_secs(), "queue_pending", pending as f64);
                     if resolved(&results, &sqs) < target {
                         events.schedule(now + cfg.scale_tick, Event::ScaleTick);
                     }
@@ -537,7 +562,27 @@ impl Orchestrator {
                                 events.schedule(now, Event::Poll(id));
                                 continue;
                             }
-                            let result = self.pipeline.run_accession(&accession)?;
+                            // With a monitor attached the job also reports live
+                            // progress, like STAR's `Log.progress.out`: snapshots
+                            // from the real alignment, timestamped inside the
+                            // modeled align window. Without a monitor no progress
+                            // events exist and the log is byte-identical to a
+                            // monitor-free build.
+                            let (result, history) = if monitor.is_some() {
+                                self.pipeline.run_accession_with_history(&accession)?
+                            } else {
+                                (self.pipeline.run_accession(&accession)?, Vec::new())
+                            };
+                            if !history.is_empty() {
+                                emit_progress_events(
+                                    &recorder,
+                                    &accession,
+                                    id,
+                                    now.as_secs(),
+                                    &result,
+                                    &history,
+                                );
+                            }
                             let duration = result.stage_secs.total().max(0.001);
                             let epoch = next_epoch;
                             next_epoch += 1;
@@ -850,6 +895,7 @@ impl Orchestrator {
             duplicate_completions,
             wasted_compute_secs: wasted_secs,
             telemetry: campaign_telemetry,
+            alerts: monitor.map(|m| m.alerts()).unwrap_or_default(),
         })
     }
 }
@@ -897,6 +943,52 @@ fn emit_job_spans(
                 recorder.span_closed(phase, stage, started + ps, started + pe, &[]);
             }
         }
+    }
+}
+
+/// Emit up to 8 `progress` events for one job, timestamped inside its modeled
+/// align window: snapshot `processed/processed_final` maps linearly onto
+/// `[align_start, align_start + align_secs]`. The align stage duration already
+/// reflects an early-stop cut, so the last snapshot lands exactly when the
+/// stage ends — an `early_stop_eligible` alert therefore always precedes the
+/// backdated `early_stop` decision event for the same accession.
+fn emit_progress_events(
+    recorder: &Recorder,
+    accession: &str,
+    instance: InstanceId,
+    poll_secs: f64,
+    result: &PipelineResult,
+    history: &[star_aligner::ProgressSnapshot],
+) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let align_start = poll_secs + result.stage_secs.prefix_secs(2);
+    let align_secs = result.stage_secs.align_secs;
+    let final_processed = history.last().map(|s| s.processed).unwrap_or(0).max(1);
+    let n = history.len();
+    let points = n.min(8);
+    let mut last_idx = usize::MAX;
+    for k in 1..=points {
+        let i = k * n / points - 1;
+        if i == last_idx {
+            continue;
+        }
+        last_idx = i;
+        let snap = &history[i];
+        let t = align_start + align_secs * (snap.processed as f64 / final_processed as f64);
+        recorder.event(
+            t,
+            "progress",
+            vec![
+                ("accession", JsonValue::from(accession)),
+                ("instance", JsonValue::from(instance.0)),
+                ("processed", JsonValue::from(snap.processed)),
+                ("total", JsonValue::from(snap.total_reads)),
+                ("processed_fraction", JsonValue::from(snap.processed_fraction())),
+                ("mapping_rate", JsonValue::from(snap.mapped_fraction())),
+            ],
+        );
     }
 }
 

@@ -222,6 +222,16 @@ pub fn render_campaign(r: &CampaignReport, instance: &str) -> String {
     if let Some(t) = &r.telemetry {
         out.push_str(&t.render());
     }
+    if !r.alerts.is_empty() {
+        let _ = writeln!(out, "live alerts fired:    {}", r.alerts.len());
+        for a in &r.alerts {
+            let _ = writeln!(
+                out,
+                "  [{:>9.1}s] {:<20} {:<14} value {:.3} vs {:.3} (detection latency {:.1}s)",
+                a.at_secs, a.rule, a.subject, a.value, a.threshold, a.latency_secs
+            );
+        }
+    }
     out
 }
 

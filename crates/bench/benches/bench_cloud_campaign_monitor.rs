@@ -1,0 +1,72 @@
+//! Monitor/exporter overhead bench — the exact `cloud_campaign` workload with the
+//! live alert monitor attached (standard rule set, streamed progress events) and
+//! the Perfetto/OpenMetrics exports rendered. `BENCH_cloud_campaign_monitor.json`
+//! is gated against `BENCH_cloud_campaign.json` by `bench_compare --overhead`:
+//! watching the campaign must cost < 2% of running it.
+
+use atlas_bench::{ensembl_params, Scale};
+use atlas_pipeline::experiments::Substrate;
+use atlas_pipeline::orchestrator::{CampaignConfig, Orchestrator};
+use atlas_pipeline::pipeline::{AtlasPipeline, PipelineConfig};
+use cloudsim::instance::InstanceType;
+use cloudsim::ScalingPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sra_sim::accession::CatalogParams;
+use sra_sim::SraRepository;
+use std::sync::Arc;
+use telemetry::MonitorConfig;
+
+/// Identical to `bench_cloud_campaign`'s fixture — the two groups must measure
+/// the same workload for the overhead comparison to mean anything.
+fn pipeline_fixture(sub: &Substrate, n_accessions: usize) -> (Arc<AtlasPipeline>, Vec<String>) {
+    let catalog = CatalogParams {
+        n_accessions,
+        bulk_spots_median: 400,
+        single_cell_fraction: 0.1,
+        ..CatalogParams::default()
+    }
+    .generate()
+    .expect("catalog");
+    let repo = Arc::new(
+        SraRepository::new(Arc::clone(&sub.asm_111), Arc::clone(&sub.annotation), catalog)
+            .with_spot_cap(500),
+    );
+    let mut pc = PipelineConfig::default();
+    pc.run_config.threads = 2;
+    pc.run_config.batch_size = 200;
+    let p = Arc::new(
+        AtlasPipeline::new(repo, Arc::clone(&sub.index_111), Arc::clone(&sub.annotation), pc)
+            .expect("pipeline"),
+    );
+    let ids = p.repository().ids();
+    (p, ids)
+}
+
+fn bench_campaign_monitor(c: &mut Criterion) {
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let mut group = c.benchmark_group("cloud_campaign_monitor");
+    group.sample_size(10);
+    for n in [10usize, 30] {
+        let (pipeline, ids) = pipeline_fixture(&sub, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ids, |b, ids| {
+            b.iter(|| {
+                let t = InstanceType::by_name("r6a.xlarge").expect("catalog type");
+                let mut cfg = CampaignConfig::new(t, 1 << 20);
+                cfg.scaling =
+                    ScalingPolicy { min_size: 0, max_size: 4, target_backlog_per_instance: 4 };
+                cfg.monitor = Some(MonitorConfig::standard());
+                let orch = Orchestrator::new(Arc::clone(&pipeline), cfg).expect("orchestrator");
+                let report = orch.run(ids).expect("campaign");
+                assert_eq!(report.completed.len(), ids.len());
+                let t = report.telemetry.as_ref().expect("telemetry on");
+                // The exports are part of what we price in.
+                (t.perfetto_json.len(), t.openmetrics_text.len(), report.alerts.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_monitor);
+criterion_main!(benches);

@@ -2,15 +2,22 @@
 //!
 //! ```text
 //! bench_compare <baseline_dir> <fresh_dir> [--tolerance 0.25]
+//! bench_compare --overhead <dir> <base.json> <with.json> [--tolerance 0.02]
 //! ```
 //!
-//! Every `BENCH_*.json` in the baseline directory (telemetry side-files excluded)
-//! must exist in the fresh directory, and every benchmark id in it must not be
-//! slower than `mean_secs * (1 + tolerance)`. Exit code 1 on any regression or
-//! missing report, 0 otherwise. The committed baseline lives in
+//! Directory mode: every `BENCH_*.json` in the baseline directory (telemetry
+//! side-files excluded) must exist in the fresh directory, and every benchmark id
+//! in it must not be slower than `mean_secs * (1 + tolerance)`. Exit code 1 on any
+//! regression or missing report, 0 otherwise. The committed baseline lives in
 //! `benchmarks/baseline/` and was captured with the same pinned-seed fixtures the
 //! benches use (`BENCH_JSON_DIR=... cargo bench -p atlas-bench`), so a comparison
 //! is apples-to-apples on any machine as long as both sides ran on that machine.
+//!
+//! Overhead mode (`--overhead`): compare two named reports from the *same*
+//! directory — a feature-off base and a feature-on variant captured in the same
+//! bench run — id by id, against a tight tolerance. This is the monitor-overhead
+//! gate: `BENCH_cloud_campaign_monitor.json` must stay within 2% of
+//! `BENCH_cloud_campaign.json`.
 //!
 //! The parser is deliberately hand-rolled for the shim's flat schema
 //! (`{"group":...,"results":[{"id","mean_secs","iters","throughput_per_sec"}]}`):
@@ -26,23 +33,34 @@ type Entry = (String, f64);
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let (mut baseline, mut fresh, mut tolerance) = (None::<PathBuf>, None::<PathBuf>, 0.25f64);
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut tolerance = None::<f64>;
+    let mut overhead = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tolerance" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse::<f64>() {
-                    Ok(t) if t >= 0.0 => tolerance = t,
+                    Ok(t) if t >= 0.0 => tolerance = Some(t),
                     _ => return usage(&format!("bad --tolerance value {v:?}")),
                 }
             }
-            _ if baseline.is_none() => baseline = Some(PathBuf::from(a)),
-            _ if fresh.is_none() => fresh = Some(PathBuf::from(a)),
-            _ => return usage(&format!("unexpected argument {a:?}")),
+            "--overhead" => overhead = true,
+            _ => positional.push(PathBuf::from(a)),
         }
     }
-    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
-        return usage("missing directories");
+
+    if overhead {
+        let [dir, base, with] = positional.as_slice() else {
+            return usage("--overhead needs <dir> <base.json> <with.json>");
+        };
+        return compare_overhead(dir, base, with, tolerance.unwrap_or(0.02));
+    }
+
+    let tolerance = tolerance.unwrap_or(0.25);
+    let (baseline, fresh) = match positional.as_slice() {
+        [b, f] => (b.clone(), f.clone()),
+        _ => return usage("missing directories"),
     };
 
     let mut reports: Vec<PathBuf> = match std::fs::read_dir(&baseline) {
@@ -118,7 +136,52 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("bench_compare: {err}");
     eprintln!("usage: bench_compare <baseline_dir> <fresh_dir> [--tolerance 0.25]");
+    eprintln!("       bench_compare --overhead <dir> <base.json> <with.json> [--tolerance 0.02]");
     ExitCode::FAILURE
+}
+
+/// Overhead mode: `with` must match `base` id-for-id within `tolerance`, both
+/// loaded from the same directory (so both means came from the same machine and
+/// the same bench invocation).
+fn compare_overhead(dir: &Path, base: &Path, with: &Path, tolerance: f64) -> ExitCode {
+    let (base_group, base_entries) = match load_report(&dir.join(base)) {
+        Ok(r) => r,
+        Err(e) => return usage(&format!("{}: {e}", dir.join(base).display())),
+    };
+    let (with_group, with_entries) = match load_report(&dir.join(with)) {
+        Ok(r) => r,
+        Err(e) => return usage(&format!("{}: {e}", dir.join(with).display())),
+    };
+    let mut failures = 0usize;
+    for (id, base_mean) in &base_entries {
+        let Some((_, with_mean)) = with_entries.iter().find(|(wid, _)| wid == id) else {
+            eprintln!("bench_compare: {with_group}/{id}: missing from {}", with.display());
+            failures += 1;
+            continue;
+        };
+        let overhead = with_mean / base_mean - 1.0;
+        let verdict = if overhead > tolerance {
+            failures += 1;
+            "TOO SLOW"
+        } else {
+            "ok"
+        };
+        println!(
+            "{base_group}/{id} -> {with_group}/{id}: {base_mean:.6}s -> {with_mean:.6}s \
+             ({overhead:+.2}% overhead) {verdict}",
+            overhead = overhead * 100.0
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures} entry(ies) exceed {:.1}% overhead budget",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: overhead within {:.1}% budget", tolerance * 100.0);
+        ExitCode::SUCCESS
+    }
 }
 
 /// Parse one criterion-shim report: `{"group":"...","results":[...]}`.

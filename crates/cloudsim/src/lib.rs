@@ -44,7 +44,7 @@ pub use error::CloudError;
 pub use event::EventQueue;
 pub use faults::{FaultEvent, FaultInjector, FaultOp, FaultPlan, SpotBurst};
 pub use instance::{Instance, InstanceId, InstanceState, InstanceType, INSTANCE_CATALOG};
-pub use metrics::{FaultCounters, TimeSeries};
+pub use metrics::FaultCounters;
 pub use retry::RetryPolicy;
 pub use s3::ObjectStore;
 pub use spot::SpotMarket;

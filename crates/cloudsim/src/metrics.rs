@@ -1,13 +1,10 @@
-//! Campaign metrics: fault tallies, plus the gauge time-series re-export.
+//! Campaign metrics: fault tallies.
 //!
-//! [`TimeSeries`] (fleet size, queue depth, busy workers over sim time) moved to
-//! the `telemetry` crate so every layer can record series without depending on the
-//! simulator; it is re-exported here for compatibility. Its timestamps are raw
-//! simulated seconds — pass `SimTime::as_secs()`.
+//! The gauge time-series type (fleet size, queue depth, busy workers over sim
+//! time) lives in `telemetry::series::TimeSeries` — the one metrics surface;
+//! callers depend on `telemetry` directly and pass `SimTime::as_secs()`.
 
 use serde::{Deserialize, Serialize};
-
-pub use telemetry::TimeSeries;
 
 /// Tallies of injected faults and retry activity over a chaos campaign.
 ///
@@ -70,9 +67,9 @@ mod tests {
     use crate::time::SimTime;
 
     #[test]
-    fn reexported_series_takes_sim_seconds() {
-        // The migrated series takes raw seconds; callers pass `SimTime::as_secs()`.
-        let mut s = TimeSeries::new();
+    fn series_takes_sim_seconds() {
+        // The series lives in `telemetry`; callers pass `SimTime::as_secs()`.
+        let mut s = telemetry::TimeSeries::new();
         s.record(SimTime::from_secs(0.0).as_secs(), 2.0);
         s.record(SimTime::from_secs(10.0).as_secs(), 4.0);
         assert!((s.integral_until(SimTime::from_secs(15.0).as_secs()) - 40.0).abs() < 1e-12);

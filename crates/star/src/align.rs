@@ -17,6 +17,7 @@ use crate::stitch::best_chains_into;
 use genomics::{DnaSeq, FastqRecord};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// CIGAR-lite operation (substitution-only model: no I/D).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +106,14 @@ pub struct PhaseWork {
     pub stitch_units: u64,
     /// Chain extensions attempted.
     pub extend_units: u64,
+    /// Measured wall-clock nanoseconds in the seed phase. Zero unless
+    /// [`crate::AlignParams::measure_phase_nanos`] is on; machine-dependent and
+    /// NOT deterministic, so nothing modeled may read it.
+    pub seed_nanos: u64,
+    /// Measured wall-clock nanoseconds in the stitch phase (see `seed_nanos`).
+    pub stitch_nanos: u64,
+    /// Measured wall-clock nanoseconds in the extend phase (see `seed_nanos`).
+    pub extend_nanos: u64,
 }
 
 impl PhaseWork {
@@ -113,6 +122,9 @@ impl PhaseWork {
         self.seed_units += other.seed_units;
         self.stitch_units += other.stitch_units;
         self.extend_units += other.extend_units;
+        self.seed_nanos += other.seed_nanos;
+        self.stitch_nanos += other.stitch_nanos;
+        self.extend_nanos += other.extend_nanos;
     }
 
     /// Total units across all phases.
@@ -132,6 +144,57 @@ impl PhaseWork {
             self.stitch_units as f64 / t,
             self.extend_units as f64 / t,
         )
+    }
+
+    /// Total measured nanoseconds (zero when measurement was off).
+    pub fn nanos_total(&self) -> u64 {
+        self.seed_nanos + self.stitch_nanos + self.extend_nanos
+    }
+
+    /// Collapsed-stack (flamegraph `folds`) dump of the phase attribution:
+    /// one `root;phase weight` line per phase, lexicographic phase order,
+    /// zero-weight phases skipped. Weights are measured microseconds when
+    /// [`crate::AlignParams::measure_phase_nanos`] was on, abstract work units
+    /// otherwise — so the dump is useful both for modeled and measured runs.
+    /// Pipe to `flamegraph.pl` / `inferno-flamegraph` as-is.
+    pub fn collapsed_stacks(&self, root: &str) -> String {
+        let measured = self.nanos_total() > 0;
+        let rows = [
+            ("extend", self.extend_nanos / 1_000, self.extend_units),
+            ("seed", self.seed_nanos / 1_000, self.seed_units),
+            ("stitch", self.stitch_nanos / 1_000, self.stitch_units),
+        ];
+        let mut out = String::new();
+        for (name, micros, units) in rows {
+            let weight = if measured { micros } else { units };
+            if weight > 0 {
+                out.push_str(&format!("{root};{name} {weight}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Zero-cost-when-off wall-clock timer for phase attribution. Disabled, both
+/// methods are a branch on a bool — the hot path never touches the clock.
+#[derive(Clone, Copy)]
+struct PhaseTimer {
+    enabled: bool,
+}
+
+impl PhaseTimer {
+    fn new(enabled: bool) -> PhaseTimer {
+        PhaseTimer { enabled }
+    }
+
+    fn start(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    fn stop(&self, started: Option<Instant>, acc: &mut u64) {
+        if let Some(t) = started {
+            *acc += t.elapsed().as_nanos() as u64;
+        }
     }
 }
 
@@ -236,11 +299,17 @@ impl<'i> Aligner<'i> {
         let ScratchCore { rc, seeds, stitch, chains } = core;
         rc.clear();
         rc.extend(seq.codes().iter().rev().map(|&c| 3 - c));
+        let timer = PhaseTimer::new(self.params.measure_phase_nanos);
         for (is_rc, codes) in [(false, seq.codes()), (true, &rc[..])] {
+            let t = timer.start();
             collect_seeds_with(self.index, self.deep_prefix, codes, &self.params, seeds);
+            timer.stop(t, &mut work.seed_nanos);
             work.seed_units += seeds.len() as u64;
+            let t = timer.start();
             best_chains_into(seeds, read_len, &self.params, stitch, chains);
+            timer.stop(t, &mut work.stitch_nanos);
             work.stitch_units += chains.len as u64;
+            let t = timer.start();
             for chain in chains.live() {
                 // Chains must stay within one contig (stitching across the
                 // concatenation boundary is meaningless).
@@ -254,6 +323,7 @@ impl<'i> Aligner<'i> {
                     out.commit();
                 }
             }
+            timer.stop(t, &mut work.extend_nanos);
         }
         out.finalize();
         work
@@ -536,6 +606,29 @@ mod tests {
         assert!((fs + ft + fe - 1.0).abs() < 1e-12);
         assert_eq!(aligner.align_seq(&DnaSeq::new()).work, PhaseWork::default());
         assert_eq!(PhaseWork::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn phase_nanos_measured_only_behind_the_gate() {
+        let chr = random_seq(11, 2000);
+        let idx = build_index(vec![("1", chr.clone())], Annotation::default());
+        let aligner = Aligner::new(&idx, AlignParams::default());
+        let off = aligner.align_seq(&chr.subseq(100, 200)).work;
+        assert_eq!(off.nanos_total(), 0, "gate off: the clock is never read");
+        let params = AlignParams { measure_phase_nanos: true, ..AlignParams::default() };
+        let timed = Aligner::new(&idx, params);
+        let on = timed.align_seq(&chr.subseq(100, 200)).work;
+        assert_eq!(
+            (on.seed_units, on.stitch_units, on.extend_units),
+            (off.seed_units, off.stitch_units, off.extend_units),
+            "measurement never changes the work counts"
+        );
+        assert!(on.nanos_total() > 0, "gate on: phases were timed");
+        // Unit-weighted folds (gate off) are deterministic and flamegraph-shaped.
+        let folds = off.collapsed_stacks("align");
+        assert!(folds.contains("align;seed ") && folds.ends_with('\n'), "{folds:?}");
+        assert_eq!(folds, off.collapsed_stacks("align"));
+        assert_eq!(PhaseWork::default().collapsed_stacks("align"), "");
     }
 
     #[test]

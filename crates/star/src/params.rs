@@ -39,6 +39,12 @@ pub struct AlignParams {
     pub noncanonical_splice_penalty: i32,
     /// Hard cap on seeds collected per read direction (guards pathological reads).
     pub max_seeds_per_read: usize,
+    /// Measure wall-clock nanoseconds per alignment phase (seed/stitch/extend)
+    /// into [`crate::align::PhaseWork`]'s `*_nanos` fields. Off by default: the
+    /// measurement reads a monotonic clock, so it is machine-dependent and NOT
+    /// deterministic — modeled-time runs and digests must leave it off. Unit
+    /// counts are recorded either way.
+    pub measure_phase_nanos: bool,
 }
 
 impl Default for AlignParams {
@@ -56,6 +62,7 @@ impl Default for AlignParams {
             canonical_splice_penalty: 1,
             noncanonical_splice_penalty: 8,
             max_seeds_per_read: 200,
+            measure_phase_nanos: false,
         }
     }
 }

@@ -49,15 +49,7 @@ impl JsonValue {
             JsonValue::UInt(v) => {
                 let _ = write!(out, "{v}");
             }
-            JsonValue::Num(v) => {
-                if v.is_finite() {
-                    let _ = write!(out, "{v}");
-                    // `{}` prints integral floats without a decimal point ("3");
-                    // still a valid JSON number, and bit-deterministic.
-                } else {
-                    out.push_str("null");
-                }
-            }
+            JsonValue::Num(v) => write_f64(*v, out),
             JsonValue::Str(s) => escape_into(s, out),
             JsonValue::Arr(items) => {
                 out.push('[');
@@ -144,6 +136,42 @@ impl From<Vec<JsonValue>> for JsonValue {
     }
 }
 
+/// Write a float as a canonical JSON number (or `null` for non-finite values).
+///
+/// Normalization rules, shared by the NDJSON event log and the exporters so
+/// goldens cannot flake on formatting:
+/// * non-finite → `null` (as in `serde_json`) — NaN/inf never reach a golden;
+/// * `-0.0` → `0` — the sign bit is not observable in sim arithmetic and would
+///   otherwise leak platform-dependent rounding into byte-compared logs;
+/// * `|v| >= 1e17` or `0 < |v| < 1e-6` → shortest-roundtrip exponent form
+///   (`1e300`, `5e-324`) instead of `{}`'s positional expansion, which would
+///   print hundreds of digits;
+/// * everything else → Rust's shortest-roundtrip `{}` formatting (integral
+///   floats print without a decimal point — "3" — still a valid JSON number).
+pub fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if v == 0.0 {
+        out.push('0');
+        return;
+    }
+    let magnitude = v.abs();
+    if !(1e-6..1e17).contains(&magnitude) {
+        let _ = write!(out, "{v:e}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// [`write_f64`] into a fresh string.
+pub fn fmt_f64(v: f64) -> String {
+    let mut out = String::new();
+    write_f64(v, &mut out);
+    out
+}
+
 /// Write `s` as a quoted JSON string with the mandatory escapes.
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
@@ -181,6 +209,32 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(JsonValue::from(f64::NAN).render(), "null");
         assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::from(f64::NEG_INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn negative_zero_normalizes_to_zero() {
+        assert_eq!(JsonValue::from(-0.0).render(), "0");
+        assert_eq!(JsonValue::from(0.0).render(), "0");
+    }
+
+    #[test]
+    fn exponent_range_values_stay_compact() {
+        assert_eq!(JsonValue::from(1e300).render(), "1e300");
+        assert_eq!(JsonValue::from(-2.5e200).render(), "-2.5e200");
+        assert_eq!(JsonValue::from(1e-300).render(), "1e-300");
+        assert_eq!(JsonValue::from(5e-324).render(), "5e-324"); // smallest subnormal
+        // Near the cutoffs: ordinary magnitudes keep positional notation.
+        assert_eq!(JsonValue::from(1e16).render(), "10000000000000000");
+        assert_eq!(JsonValue::from(1e-6).render(), "0.000001");
+        assert_eq!(JsonValue::from(9.9e-7).render(), "9.9e-7");
+    }
+
+    #[test]
+    fn mid_range_floats_keep_shortest_roundtrip_form() {
+        assert_eq!(JsonValue::from(0.1).render(), "0.1");
+        assert_eq!(JsonValue::from(3.0).render(), "3");
+        assert_eq!(fmt_f64(0.30000000000000004), "0.30000000000000004");
     }
 
     #[test]

@@ -13,8 +13,15 @@
 //! * [`report::CampaignTelemetry`] — the analysis pass: per-stage p50/p95/p99,
 //!   a critical-path extractor over the span tree (which stage dominates each
 //!   accession, fleet-level utilization breakdown), rendered into campaign reports.
-//! * [`series::TimeSeries`] — timestamped gauge series (migrated from
-//!   `cloudsim::metrics`; re-exported there for compatibility).
+//! * [`export`] — standard-format exporters: Chrome/Perfetto trace-event JSON
+//!   for the span tree, OpenMetrics text for the registry, collapsed-stack
+//!   (flamegraph) folds of the span tree.
+//! * [`monitor::Monitor`] — the live campaign monitor: declarative alert rules
+//!   (threshold, rate-of-change, quantile-vs-fleet) evaluated against the stream
+//!   *during* the simulated campaign via [`recorder::StreamObserver`], emitting
+//!   `alert` events into the same log.
+//! * [`series::TimeSeries`] — timestamped gauge series (the one metrics surface;
+//!   `cloudsim` uses it directly).
 //!
 //! **Determinism contract.** All timestamps are *simulated* seconds — nothing in
 //! this crate reads a wall clock, and the vendored `serde` shim is a no-op, so all
@@ -23,24 +30,29 @@
 //! byte-identical across runs (`tests/tests/telemetry.rs` proves it).
 
 pub mod events;
+pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod recorder;
 pub mod report;
 pub mod series;
 pub mod span;
 
 pub use events::EventRecord;
+pub use export::{collapsed_stacks, openmetrics, openmetrics_from, perfetto_trace, perfetto_trace_from};
 pub use json::JsonValue;
 pub use metrics::{Histogram, MetricsRegistry, RATE_BUCKETS, SECS_BUCKETS};
-pub use recorder::Recorder;
+pub use monitor::{AlertEvent, AlertRule, Cmp, Condition, Guard, Monitor, MonitorConfig, Signal};
+pub use recorder::{Recorder, StreamObserver};
 pub use report::{summarize, AccessionPath, CampaignTelemetry, CriticalPath, StageStats};
 pub use series::TimeSeries;
 pub use span::{SpanId, SpanRecord};
 
 /// Version stamped into every serialized telemetry document. Bump it (and the
 /// golden under `golden/telemetry_schema.json`) when the schema changes shape.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: `alert` events, Perfetto/OpenMetrics export shapes.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The stable JSON schema of everything this crate serializes, as a JSON document.
 ///
@@ -59,6 +71,18 @@ pub fn schema_json() -> String {
                 field("t", "f64 — simulated seconds since campaign start"),
                 field("kind", "string — event kind, snake_case"),
                 field("...", "kind-specific fields, stable order per kind"),
+            ]),
+        ),
+        (
+            "alert_event".into(),
+            obj(vec![
+                field("t", "f64 — simulated seconds the rule fired"),
+                field("kind", "\"alert\""),
+                field("rule", "string — AlertRule id, snake_case"),
+                field("subject", "string — instance id, accession, or signal name"),
+                field("value", "f64 — signal value at firing"),
+                field("threshold", "f64 — the bound it crossed"),
+                field("latency_secs", "f64 — condition onset -> detection"),
             ]),
         ),
         (
@@ -87,6 +111,30 @@ pub fn schema_json() -> String {
                         field("min", "f64"),
                         field("max", "f64"),
                     ]),
+                ),
+            ]),
+        ),
+        (
+            "perfetto_trace".into(),
+            obj(vec![
+                field(
+                    "traceEvents",
+                    "array — process_name metadata (ph M), complete spans (ph X, \
+                     ts/dur integer micros, pid = instance, tid = worker, attrs in \
+                     args), event-log instants (ph i)",
+                ),
+                field("displayTimeUnit", "\"ms\""),
+            ]),
+        ),
+        (
+            "openmetrics".into(),
+            obj(vec![
+                field("counters", "`# TYPE <name> counter` + `<name>_total <v>`"),
+                field("gauges", "`# TYPE <name> gauge` + `<name> <v>`"),
+                field(
+                    "histograms",
+                    "cumulative `<name>_bucket{le=\"...\"}` lines, `+Inf`, `_sum`, \
+                     `_count`; terminated by `# EOF`",
                 ),
             ]),
         ),
@@ -140,16 +188,20 @@ mod tests {
     use super::*;
 
     /// CI gate: the serialized schema must match the committed golden byte for
-    /// byte. To change the schema deliberately, regenerate the golden with the
-    /// output of [`schema_json`].
+    /// byte. To change the schema deliberately, rerun with `UPDATE_GOLDEN=1` to
+    /// rewrite the golden, then commit the diff.
     #[test]
     fn schema_matches_golden() {
-        let golden = include_str!("../golden/telemetry_schema.json");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/telemetry_schema.json");
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(path, schema_json()).expect("rewrite golden");
+        }
+        let golden = std::fs::read_to_string(path).expect("read golden");
         assert_eq!(
             schema_json(),
             golden,
             "telemetry JSON schema drifted from golden/telemetry_schema.json; \
-             update the golden deliberately if the change is intended"
+             rerun with UPDATE_GOLDEN=1 if the change is intended"
         );
     }
 }

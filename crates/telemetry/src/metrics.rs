@@ -70,6 +70,16 @@ impl Histogram {
         self.count
     }
 
+    /// The inclusive upper bounds this histogram was created with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; `len(bounds) + 1`, last is overflow.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Sum of observations.
     pub fn sum(&self) -> f64 {
         self.sum

@@ -10,7 +10,37 @@ use crate::events::EventRecord;
 use crate::json::JsonValue;
 use crate::metrics::MetricsRegistry;
 use crate::span::{SpanId, SpanRecord};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+/// A streaming subscriber to the telemetry feed (the live-monitor hook).
+///
+/// Observers are notified *after* the recorder has appended the record, outside
+/// its state lock. Whatever events an observer returns — alert records, in
+/// practice — are appended to the same event log (and counted in the
+/// `alerts_fired` counter) but do **not** re-notify observers, so an observer
+/// cannot trigger itself. Observers see the stream in the simulator's
+/// deterministic emission order; a pure-function observer therefore produces the
+/// same alerts on every same-seed run.
+pub trait StreamObserver: Send {
+    /// An event was appended to the log.
+    fn on_event(&mut self, event: &EventRecord) -> Vec<EventRecord> {
+        let _ = event;
+        Vec::new()
+    }
+
+    /// A span was closed (first close only; retroactive `span_closed` included).
+    fn on_span_close(&mut self, span: &SpanRecord) -> Vec<EventRecord> {
+        let _ = span;
+        Vec::new()
+    }
+
+    /// A gauge was set through [`Recorder::gauge_set_at`].
+    fn on_gauge(&mut self, at_secs: f64, name: &str, value: f64) -> Vec<EventRecord> {
+        let _ = (at_secs, name, value);
+        Vec::new()
+    }
+}
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -20,10 +50,24 @@ struct Inner {
 }
 
 /// Deterministic sim-time telemetry recorder.
-#[derive(Debug)]
 pub struct Recorder {
     enabled: bool,
     inner: Mutex<Inner>,
+    /// Separate lock so observer callbacks run outside the state lock (they may
+    /// re-enter the recorder only through the returned alert records, which the
+    /// notifier appends itself).
+    observers: Mutex<Vec<Box<dyn StreamObserver>>>,
+    /// Fast path: skip the observer lock entirely while nothing is attached.
+    observed: AtomicBool,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("observed", &self.observed.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Recorder {
@@ -35,13 +79,57 @@ impl Default for Recorder {
 impl Recorder {
     /// An enabled recorder.
     pub fn new() -> Recorder {
-        Recorder { enabled: true, inner: Mutex::new(Inner::default()) }
+        Recorder {
+            enabled: true,
+            inner: Mutex::new(Inner::default()),
+            observers: Mutex::new(Vec::new()),
+            observed: AtomicBool::new(false),
+        }
     }
 
     /// A disabled recorder: every operation is a branch-and-return no-op, spans
     /// come back as [`SpanId::NONE`].
     pub fn disabled() -> Recorder {
-        Recorder { enabled: false, inner: Mutex::new(Inner::default()) }
+        Recorder {
+            enabled: false,
+            inner: Mutex::new(Inner::default()),
+            observers: Mutex::new(Vec::new()),
+            observed: AtomicBool::new(false),
+        }
+    }
+
+    /// Subscribe a streaming observer. No-op on a disabled recorder.
+    pub fn attach_observer(&self, observer: Box<dyn StreamObserver>) {
+        if !self.enabled {
+            return;
+        }
+        self.observers.lock().expect("telemetry observers poisoned").push(observer);
+        self.observed.store(true, Ordering::Release);
+    }
+
+    /// Run `notify` over every observer and append whatever alert events they
+    /// return. Alerts bypass observer notification (no self-triggering).
+    fn notify_observers(
+        &self,
+        mut notify: impl FnMut(&mut dyn StreamObserver) -> Vec<EventRecord>,
+    ) {
+        if !self.observed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut observers = self.observers.lock().expect("telemetry observers poisoned");
+        let mut alerts: Vec<EventRecord> = Vec::new();
+        for obs in observers.iter_mut() {
+            alerts.extend(notify(obs.as_mut()));
+        }
+        drop(observers);
+        if alerts.is_empty() {
+            return;
+        }
+        let mut inner = self.lock();
+        for alert in alerts {
+            inner.metrics.counter_add("alerts_fired", 1);
+            inner.events.push(alert);
+        }
     }
 
     /// True when this recorder captures anything.
@@ -89,16 +177,24 @@ impl Recorder {
         if !self.enabled || id.is_none() {
             return;
         }
-        let mut inner = self.lock();
-        let span = &mut inner.spans[(id.0 - 1) as usize];
-        assert!(
-            at_secs >= span.start_secs,
-            "span '{}' would end at {at_secs} before its start {}",
-            span.name,
-            span.start_secs
-        );
-        if span.end_secs.is_none() {
-            span.end_secs = Some(at_secs);
+        let closed = {
+            let mut inner = self.lock();
+            let span = &mut inner.spans[(id.0 - 1) as usize];
+            assert!(
+                at_secs >= span.start_secs,
+                "span '{}' would end at {at_secs} before its start {}",
+                span.name,
+                span.start_secs
+            );
+            if span.end_secs.is_none() {
+                span.end_secs = Some(at_secs);
+                Some(span.clone())
+            } else {
+                None
+            }
+        };
+        if let Some(span) = closed {
+            self.notify_observers(|obs| obs.on_span_close(&span));
         }
     }
 
@@ -123,11 +219,13 @@ impl Recorder {
         if !self.enabled {
             return;
         }
-        self.lock().events.push(EventRecord {
+        let record = EventRecord {
             at_secs,
             kind: kind.to_string(),
             fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-        });
+        };
+        self.lock().events.push(record.clone());
+        self.notify_observers(|obs| obs.on_event(&record));
     }
 
     /// Add `n` to counter `name`.
@@ -144,6 +242,18 @@ impl Recorder {
             return;
         }
         self.lock().metrics.gauge_set(name, v);
+    }
+
+    /// Set gauge `name` at simulated time `at_secs`, feeding observers the sample
+    /// (the registry itself keeps only the latest value, as with
+    /// [`Recorder::gauge_set`] — the timestamp exists for streaming rules like
+    /// rate-of-change over a window).
+    pub fn gauge_set_at(&self, at_secs: f64, name: &str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().metrics.gauge_set(name, v);
+        self.notify_observers(|obs| obs.on_gauge(at_secs, name, v));
     }
 
     /// Record `v` into histogram `name` (created with `bounds` on first touch).
@@ -167,6 +277,11 @@ impl Recorder {
     /// Number of events recorded.
     pub fn n_events(&self) -> usize {
         self.lock().events.len()
+    }
+
+    /// Snapshot of every event recorded so far (emission order).
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.lock().events.clone()
     }
 
     /// The whole event log as NDJSON (one line per event, trailing newline when
@@ -240,6 +355,65 @@ mod tests {
         let r = Recorder::new();
         let s = r.span_start("job", SpanId::NONE, 10.0);
         r.span_end(s, 9.0);
+    }
+
+    /// Echoes every notification as an `alert` event naming what it saw.
+    struct Echo;
+    impl StreamObserver for Echo {
+        fn on_event(&mut self, event: &EventRecord) -> Vec<EventRecord> {
+            vec![EventRecord {
+                at_secs: event.at_secs,
+                kind: "alert".into(),
+                fields: vec![("saw".into(), JsonValue::from(event.kind.as_str()))],
+            }]
+        }
+        fn on_span_close(&mut self, span: &SpanRecord) -> Vec<EventRecord> {
+            vec![EventRecord {
+                at_secs: span.end_secs.unwrap_or(span.start_secs),
+                kind: "alert".into(),
+                fields: vec![("saw".into(), JsonValue::from(span.name.as_str()))],
+            }]
+        }
+        fn on_gauge(&mut self, at_secs: f64, name: &str, value: f64) -> Vec<EventRecord> {
+            vec![EventRecord {
+                at_secs,
+                kind: "alert".into(),
+                fields: vec![
+                    ("saw".into(), JsonValue::from(name)),
+                    ("value".into(), JsonValue::from(value)),
+                ],
+            }]
+        }
+    }
+
+    #[test]
+    fn observers_see_the_stream_and_their_alerts_join_the_log() {
+        let r = Recorder::new();
+        r.attach_observer(Box::new(Echo));
+        r.event(1.0, "retry", vec![]);
+        let s = r.span_start("job", SpanId::NONE, 2.0);
+        r.span_end(s, 3.0);
+        r.span_end(s, 4.0); // double close: no second notification
+        r.gauge_set_at(5.0, "queue_pending", 7.0);
+        r.gauge_set("fleet_active", 2.0); // untimestamped path: no notification
+        let log = r.events_ndjson();
+        assert_eq!(
+            log,
+            "{\"t\":1,\"kind\":\"retry\"}\n\
+             {\"t\":1,\"kind\":\"alert\",\"saw\":\"retry\"}\n\
+             {\"t\":3,\"kind\":\"alert\",\"saw\":\"job\"}\n\
+             {\"t\":5,\"kind\":\"alert\",\"saw\":\"queue_pending\",\"value\":7}\n"
+        );
+        assert_eq!(r.metrics().counter("alerts_fired"), 3);
+    }
+
+    #[test]
+    fn observers_on_disabled_recorder_never_fire() {
+        let r = Recorder::disabled();
+        r.attach_observer(Box::new(Echo));
+        r.event(1.0, "retry", vec![]);
+        r.gauge_set_at(2.0, "g", 1.0);
+        assert_eq!(r.n_events(), 0);
     }
 
     #[test]

@@ -79,6 +79,13 @@ pub struct CampaignTelemetry {
     pub metrics_json: String,
     /// `(name, count, p50, p95, p99)` for every registry histogram, sorted by name.
     pub histogram_summaries: Vec<(String, u64, f64, f64, f64)>,
+    /// Chrome/Perfetto trace-event JSON of the span tree + event log — load it
+    /// at `ui.perfetto.dev` or `chrome://tracing`. Byte-identical across
+    /// same-seed runs.
+    pub perfetto_json: String,
+    /// OpenMetrics text exposition of the metrics registry. Byte-identical
+    /// across same-seed runs.
+    pub openmetrics_text: String,
 }
 
 /// Summarize everything a [`Recorder`] captured into a [`CampaignTelemetry`].
@@ -187,6 +194,8 @@ pub fn summarize(rec: &Recorder) -> CampaignTelemetry {
         event_log: rec.events_ndjson(),
         metrics_json: rec.metrics_json(),
         histogram_summaries,
+        perfetto_json: crate::export::perfetto_trace_from(rec),
+        openmetrics_text: crate::export::openmetrics_from(rec),
     }
 }
 
@@ -383,13 +392,78 @@ mod tests {
     }
 
     #[test]
+    fn empty_campaign_summarizes_to_zeros() {
+        let t = summarize(&Recorder::new());
+        assert_eq!(t.n_spans, 0);
+        assert_eq!(t.n_events, 0);
+        assert!(t.stage_stats.is_empty());
+        assert_eq!(t.critical_path.dominant_stage, "");
+        assert_eq!(t.critical_path.dominant_accessions, 0);
+        assert!(t.critical_path.per_accession.is_empty());
+        assert!(t.critical_path.stage_share.is_empty());
+        assert_eq!(t.critical_path.fleet_busy_secs, 0.0);
+        assert_eq!(t.critical_path.fleet_uptime_secs, 0.0);
+        // Rendering and serialization must not choke on the empty tree.
+        assert!(t.render().contains("telemetry: 0 spans, 0 events"));
+        assert!(t.to_json().contains("\"per_accession\":[]"));
+    }
+
+    #[test]
+    fn single_span_tree_summarizes_without_stages() {
+        let r = Recorder::new();
+        r.span_closed(
+            "job",
+            SpanId::NONE,
+            0.0,
+            5.0,
+            &[("accession", "SRR1".to_string()), ("outcome", "ok".to_string())],
+        );
+        let t = summarize(&r);
+        // A stage-less job contributes busy time but no critical-path entry.
+        assert_eq!(t.n_spans, 1);
+        assert!((t.critical_path.fleet_busy_secs - 5.0).abs() < 1e-12);
+        assert!(t.critical_path.per_accession.is_empty());
+        assert!(t.stage_stats.is_empty());
+        assert_eq!(t.critical_path.dominant_stage, "");
+    }
+
+    #[test]
+    fn orphaned_children_do_not_corrupt_the_path() {
+        let r = Recorder::new();
+        let job = r.span_closed(
+            "job",
+            SpanId::NONE,
+            0.0,
+            10.0,
+            &[("accession", "SRR1".to_string()), ("outcome", "ok".to_string())],
+        );
+        r.span_closed("align", job, 0.0, 9.0, &[]);
+        // Stage spans whose parent id was never recorded (e.g. emitted by a
+        // worker whose job span was dropped): they must not be attributed to
+        // any accession, and must not panic the walk.
+        let orphan_parent = SpanId(999);
+        r.span_closed("prefetch", orphan_parent, 20.0, 30.0, &[]);
+        r.span_closed("align", orphan_parent, 30.0, 90.0, &[]);
+        // A job with no accession attr is skipped entirely.
+        r.span_closed("job", SpanId::NONE, 100.0, 104.0, &[("outcome", "ok".to_string())]);
+        let t = summarize(&r);
+        assert_eq!(t.critical_path.per_accession.len(), 1);
+        assert_eq!(t.critical_path.per_accession[0].accession, "SRR1");
+        let align = t.stage_stats.iter().find(|s| s.stage == "align").unwrap();
+        assert_eq!(align.count, 1, "orphaned align span must not contribute");
+        assert!((align.total_secs - 9.0).abs() < 1e-12);
+        // Both jobs still count as fleet busy time.
+        assert!((t.critical_path.fleet_busy_secs - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn render_and_json_quote_the_breakdown() {
         let t = summarize(&sample_recorder());
         let text = t.render();
         assert!(text.contains("critical path: 'align' dominates 2/2 accessions"), "{text}");
         assert!(text.contains("stage share of pipeline time:"), "{text}");
         let json = t.to_json();
-        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(json.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")), "{json}");
         assert!(json.contains("\"dominant_stage\":\"align\""), "{json}");
         assert!(json.contains("\"metrics\":{\"counters\""), "{json}");
     }

@@ -6,7 +6,11 @@
 //!
 //! ```text
 //! cargo run --release -p atlas-examples --bin cloud_atlas
+//! cargo run --release -p atlas-examples --bin cloud_atlas -- --trace-out trace.json
 //! ```
+//!
+//! `--trace-out <path>` writes the campaign's span tree as Chrome/Perfetto
+//! trace-event JSON — open it at <https://ui.perfetto.dev>.
 
 use atlas_pipeline::experiments::{paper_scale_sizer, Substrate};
 use atlas_pipeline::orchestrator::{CampaignConfig, Orchestrator};
@@ -17,8 +21,21 @@ use genomics::EnsemblParams;
 use sra_sim::accession::CatalogParams;
 use sra_sim::SraRepository;
 use std::sync::Arc;
+use telemetry::MonitorConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out =
+                    Some(args.next().ok_or("--trace-out needs a file path argument")?);
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
     let substrate = Substrate::build(EnsemblParams { chromosome_len: 100_000, ..EnsemblParams::default() })?;
 
     // 40 accessions with the paper's library mix shape.
@@ -54,6 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.spot = true;
     config.spot_market = SpotMarket { price_factor: 0.35, interruptions_per_hour: 0.5, seed: 11 };
     config.scaling = ScalingPolicy { min_size: 0, max_size: 6, target_backlog_per_instance: 4 };
+    // Watch the campaign live: stragglers, backlog growth, fault bursts, and
+    // early-stop-eligible accessions fire alerts into the report.
+    config.monitor = Some(MonitorConfig::standard());
 
     let orchestrator = Orchestrator::new(pipeline, config)?;
     let ids: Vec<String> = {
@@ -64,6 +84,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("launching campaign over {} accessions…\n", ids.len());
     let report = orchestrator.run(&ids)?;
     print!("{}", render_campaign(&report, instance.name));
+
+    if let Some(path) = trace_out {
+        let t = report.telemetry.as_ref().ok_or("--trace-out requires telemetry enabled")?;
+        std::fs::write(&path, &t.perfetto_json)?;
+        println!("\nwrote Perfetto trace to {path} — open it at https://ui.perfetto.dev");
+    }
 
     println!("\nfleet over time (active instances | pending messages):");
     for sample in report.fleet_timeline.iter().take(20) {
