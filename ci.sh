@@ -12,6 +12,10 @@ cargo test -q --release --offline -p telemetry schema_matches_golden
 # Perfetto trace and OpenMetrics exposition are byte-pinned in tests/golden/.
 cargo test -q --release --offline -p atlas-integration-tests --test telemetry_export \
     perfetto_and_openmetrics_exports_match_goldens
+# Engine equivalence is a merge gate, not just a test: the discrete-event kernel
+# must stay byte-for-byte interchangeable with the legacy tick-loop oracle on
+# chaos-seeded and fleet-scale campaigns, even when the suite above is filtered.
+cargo test -q --release --offline -p atlas-integration-tests --test devent_diff
 cargo clippy --offline -- -D warnings
 
 # Benches must keep compiling (they are not covered by `cargo test`), and the

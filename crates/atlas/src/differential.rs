@@ -1,0 +1,143 @@
+//! Differential verification: legacy loop vs discrete-event kernel.
+//!
+//! The kernel engine is only trustworthy because this harness can prove, for any
+//! seeded campaign, that it reproduces the legacy loop *byte for byte*: same
+//! completion order, same dead letters, same fault tallies, same makespan and
+//! cost down to the f64 bit patterns (all folded into
+//! [`CampaignReport::summary_digest`]), same dispatched-event count, and the same
+//! telemetry event log. The chaos/differential test suites drive it across
+//! fault-free, chaos-seeded, and fleet-scale modeled campaigns.
+//!
+//! Monitor-gated `progress`/`alert` lines are stripped from the log comparison —
+//! they are observer output whose presence depends only on the monitor config
+//! (the pure-observer tests cover them); everything else must match exactly.
+
+use std::sync::Arc;
+
+use crate::orchestrator::{CampaignConfig, CampaignEngine, CampaignReport, Orchestrator};
+use crate::workload::CampaignWorkload;
+use crate::AtlasError;
+
+/// The same campaign run through both engines.
+#[derive(Debug)]
+pub struct EngineComparison {
+    /// Report from the legacy tick loop.
+    pub legacy: CampaignReport,
+    /// Report from the discrete-event kernel.
+    pub kernel: CampaignReport,
+}
+
+/// Run `accessions` through both engines on identical config + workload.
+pub fn run_differential(
+    workload: Arc<dyn CampaignWorkload>,
+    config: &CampaignConfig,
+    accessions: &[String],
+) -> Result<EngineComparison, AtlasError> {
+    let mut legacy_cfg = config.clone();
+    legacy_cfg.engine = CampaignEngine::LegacyTick;
+    let mut kernel_cfg = config.clone();
+    kernel_cfg.engine = CampaignEngine::EventKernel;
+    let legacy = Orchestrator::with_workload(Arc::clone(&workload), legacy_cfg)?.run(accessions)?;
+    let kernel = Orchestrator::with_workload(workload, kernel_cfg)?.run(accessions)?;
+    Ok(EngineComparison { legacy, kernel })
+}
+
+/// The structured event log with monitor-gated lines (`progress`, `alert`)
+/// removed — the part of the log both engines must reproduce byte for byte.
+/// `None` when telemetry was off.
+pub fn stripped_event_log(report: &CampaignReport) -> Option<String> {
+    let t = report.telemetry.as_ref()?;
+    Some(
+        t.event_log
+            .lines()
+            .filter(|l| !l.contains("\"kind\":\"progress\"") && !l.contains("\"kind\":\"alert\""))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+}
+
+impl EngineComparison {
+    /// Check byte-for-byte equivalence. `Ok(())` when the engines agree;
+    /// otherwise every observed divergence, labeled.
+    pub fn assert_equivalent(&self) -> Result<(), String> {
+        let mut diffs: Vec<String> = Vec::new();
+        let (l, k) = (&self.legacy, &self.kernel);
+        if l.summary_digest() != k.summary_digest() {
+            diffs.push(format!(
+                "summary digest: legacy {:#018x} != kernel {:#018x}",
+                l.summary_digest(),
+                k.summary_digest()
+            ));
+        }
+        let l_order: Vec<&str> = l.completed.iter().map(|r| r.accession.as_str()).collect();
+        let k_order: Vec<&str> = k.completed.iter().map(|r| r.accession.as_str()).collect();
+        if l_order != k_order {
+            diffs.push(format!(
+                "completion order diverges at index {}",
+                l_order.iter().zip(&k_order).position(|(a, b)| a != b).unwrap_or(l_order.len().min(k_order.len()))
+            ));
+        }
+        if l.dead_lettered != k.dead_lettered {
+            diffs.push(format!(
+                "dead letters: legacy {:?} != kernel {:?}",
+                l.dead_lettered, k.dead_lettered
+            ));
+        }
+        if l.makespan.as_secs().to_bits() != k.makespan.as_secs().to_bits() {
+            diffs.push(format!(
+                "makespan: legacy {} != kernel {}",
+                l.makespan.as_secs(),
+                k.makespan.as_secs()
+            ));
+        }
+        if l.cost.total_usd.to_bits() != k.cost.total_usd.to_bits() {
+            diffs.push(format!(
+                "total cost: legacy {} != kernel {}",
+                l.cost.total_usd, k.cost.total_usd
+            ));
+        }
+        if l.sim_events != k.sim_events {
+            diffs.push(format!(
+                "dispatched events: legacy {} != kernel {}",
+                l.sim_events, k.sim_events
+            ));
+        }
+        if l.instances_launched != k.instances_launched {
+            diffs.push(format!(
+                "instances launched: legacy {} != kernel {}",
+                l.instances_launched, k.instances_launched
+            ));
+        }
+        if l.interruptions != k.interruptions {
+            diffs.push(format!(
+                "interruptions: legacy {} != kernel {}",
+                l.interruptions, k.interruptions
+            ));
+        }
+        if l.fault_counters != k.fault_counters {
+            diffs.push("fault counters diverge".to_string());
+        }
+        if l.fleet_timeline != k.fleet_timeline {
+            diffs.push("fleet timelines diverge".to_string());
+        }
+        match (stripped_event_log(l), stripped_event_log(k)) {
+            (Some(a), Some(b)) if a != b => {
+                let at = a
+                    .lines()
+                    .zip(b.lines())
+                    .position(|(x, y)| x != y)
+                    .map(|i| format!("first divergent line {i}"))
+                    .unwrap_or_else(|| "lengths differ".to_string());
+                diffs.push(format!("stripped event logs differ ({at})"));
+            }
+            (Some(_), Some(_)) => {}
+            (None, None) => {}
+            _ => diffs.push("one engine recorded telemetry, the other did not".to_string()),
+        }
+        if diffs.is_empty() {
+            Ok(())
+        } else {
+            Err(diffs.join("; "))
+        }
+    }
+}

@@ -22,16 +22,21 @@
 //!   see DESIGN.md's experiment index.
 
 pub mod analysis;
+pub mod differential;
 pub mod early_stop;
 pub mod error;
 pub mod experiments;
+mod kernel_engine;
 pub mod orchestrator;
 pub mod pipeline;
 pub mod report;
 pub mod right_size;
+pub mod workload;
 
+pub use differential::{run_differential, EngineComparison};
 pub use early_stop::{EarlyStopAccounting, EarlyStopPolicy};
 pub use error::AtlasError;
-pub use orchestrator::{CampaignConfig, CampaignReport, Orchestrator};
+pub use orchestrator::{CampaignConfig, CampaignEngine, CampaignReport, Orchestrator};
 pub use pipeline::{AtlasPipeline, PipelineConfig, PipelineResult, StageTimes};
 pub use right_size::RightSizer;
+pub use workload::{CampaignWorkload, ModeledWorkload};

@@ -18,13 +18,20 @@
 //!
 //! The *pipelines run for real* (the aligner aligns); only time is simulated —
 //! stage durations advance the event clock, so a multi-hour campaign simulates in
-//! seconds of wall time.
+//! seconds of wall time. (At fleet scale, [`crate::workload::ModeledWorkload`]
+//! swaps the real alignment for a seeded synthetic one.)
+//!
+//! Two engines can drive a campaign (see [`CampaignEngine`]): the discrete-event
+//! kernel in [`crate::kernel_engine`] (the default) and the legacy loop kept in
+//! this module as a differential oracle. Both produce byte-identical reports; the
+//! harness in [`crate::differential`] proves it.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::early_stop::SavingsSummary;
 use crate::pipeline::{AtlasPipeline, PipelineResult, StageTimes};
+use crate::workload::CampaignWorkload;
 use crate::AtlasError;
 use bytes::Bytes;
 use cloudsim::asg::AutoScalingGroup;
@@ -33,16 +40,30 @@ use cloudsim::faults::{FaultInjector, FaultOp, FaultPlan};
 use cloudsim::instance::{InstanceId, InstanceState, InstanceType};
 use cloudsim::metrics::FaultCounters;
 use cloudsim::retry::RetryPolicy;
+use cloudsim::sqs::legacy::LegacySqsQueue;
 use cloudsim::sqs::ReceiptHandle;
-use cloudsim::{
-    EventQueue, ObjectStore, ScalingPolicy, SimDuration, SimTime, SpotMarket, SqsQueue,
-};
+use cloudsim::{EventQueue, ObjectStore, ScalingPolicy, SimDuration, SimTime, SpotMarket};
 use deseq_norm::{CountsMatrix, NormalizedMatrix};
 use star_aligner::quant::Strandedness;
 use telemetry::{
     AlertEvent, CampaignTelemetry, JsonValue, Monitor, MonitorConfig, Recorder, SpanId,
     TimeSeries, RATE_BUCKETS, SECS_BUCKETS,
 };
+
+/// Which simulation engine drives the campaign. Both produce byte-identical
+/// reports on the same config + workload (proven by [`crate::differential`]);
+/// they differ only in how far they scale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignEngine {
+    /// The discrete-event kernel ([`crate::kernel_engine`]): O(log n) per event,
+    /// no per-event scans — fleets of thousands simulate in seconds.
+    #[default]
+    EventKernel,
+    /// The original loop: same event semantics, but with O(n) bookkeeping scans
+    /// (queue reconciliation, resolved-recount) per event. Kept as the
+    /// differential oracle; deprecated for anything beyond test-scale.
+    LegacyTick,
+}
 
 /// Campaign configuration.
 #[derive(Clone, Debug)]
@@ -88,6 +109,8 @@ pub struct CampaignConfig {
     /// with it on or off, but enabling it adds `progress` and `alert` events to
     /// the log.
     pub monitor: Option<MonitorConfig>,
+    /// Simulation engine (default: the discrete-event kernel).
+    pub engine: CampaignEngine,
 }
 
 impl CampaignConfig {
@@ -111,6 +134,7 @@ impl CampaignConfig {
             max_receive_count: None,
             telemetry: true,
             monitor: None,
+            engine: CampaignEngine::default(),
         }
     }
 
@@ -205,6 +229,10 @@ pub struct CampaignReport {
     /// [`CampaignConfig::monitor`] is `None`). Excluded from
     /// [`CampaignReport::summary_digest`] like the rest of the telemetry.
     pub alerts: Vec<AlertEvent>,
+    /// Simulation events dispatched over the campaign. Identical across engines
+    /// for the same campaign (the differential harness checks it); excluded from
+    /// the digest because it describes the simulator, not the outcome.
+    pub sim_events: u64,
 }
 
 impl CampaignReport {
@@ -257,7 +285,9 @@ impl CampaignReport {
     }
 }
 
-enum Event {
+/// The campaign event taxonomy, shared by both engines. Everything that happens
+/// in a campaign is one of these, scheduled at an instant; there are no ticks.
+pub(crate) enum Event {
     InstanceReady(InstanceId),
     Poll(InstanceId),
     JobDone {
@@ -274,22 +304,44 @@ enum Event {
 
 /// The campaign driver.
 pub struct Orchestrator {
-    pipeline: Arc<AtlasPipeline>,
+    workload: Arc<dyn CampaignWorkload>,
     config: CampaignConfig,
 }
 
 impl Orchestrator {
-    /// Create an orchestrator. Validates the configuration.
+    /// Create an orchestrator running the real pipeline. Validates the configuration.
     pub fn new(pipeline: Arc<AtlasPipeline>, config: CampaignConfig) -> Result<Orchestrator, AtlasError> {
-        config.validate()?;
-        Ok(Orchestrator { pipeline, config })
+        Orchestrator::with_workload(pipeline, config)
     }
 
-    /// Run the campaign over `accessions`.
+    /// Create an orchestrator over any [`CampaignWorkload`] — the real pipeline or
+    /// a modeled one for fleet-scale campaigns. Validates the configuration.
+    pub fn with_workload(
+        workload: Arc<dyn CampaignWorkload>,
+        config: CampaignConfig,
+    ) -> Result<Orchestrator, AtlasError> {
+        config.validate()?;
+        Ok(Orchestrator { workload, config })
+    }
+
+    /// Run the campaign over `accessions` with the configured engine.
     pub fn run(&self, accessions: &[String]) -> Result<CampaignReport, AtlasError> {
+        match self.config.engine {
+            CampaignEngine::EventKernel => {
+                crate::kernel_engine::run_campaign(&self.workload, &self.config, accessions)
+            }
+            CampaignEngine::LegacyTick => self.run_legacy(accessions),
+        }
+    }
+
+    /// The legacy loop: event-driven semantics over scan-heavy bookkeeping
+    /// ([`LegacySqsQueue`], per-event resolved recount). Frozen as the
+    /// differential oracle — behavior changes belong in the kernel engine and
+    /// must keep the two byte-identical.
+    fn run_legacy(&self, accessions: &[String]) -> Result<CampaignReport, AtlasError> {
         let cfg = &self.config;
         let mut events: EventQueue<Event> = EventQueue::new();
-        let mut sqs: SqsQueue<String> = SqsQueue::new(cfg.visibility_timeout);
+        let mut sqs: LegacySqsQueue<String> = LegacySqsQueue::new(cfg.visibility_timeout);
         if let Some(max) = cfg.max_receive_count {
             sqs = sqs.with_max_receive_count(max);
         }
@@ -349,7 +401,10 @@ impl Orchestrator {
 
         // An accession is resolved once it completed or dead-lettered without
         // completing; the campaign runs until every accession is resolved.
-        fn resolved(results: &BTreeMap<String, PipelineResult>, sqs: &SqsQueue<String>) -> usize {
+        fn resolved(
+            results: &BTreeMap<String, PipelineResult>,
+            sqs: &LegacySqsQueue<String>,
+        ) -> usize {
             results.len()
                 + sqs.dead_letters().iter().filter(|a| !results.contains_key(a.as_str())).count()
         }
@@ -415,9 +470,7 @@ impl Orchestrator {
                                 events.schedule(now + init + d, Event::InstanceReady(id))
                             }
                             Err(_) => {
-                                if let Some(inst) = asg.instance_mut(id) {
-                                    inst.terminate(now);
-                                }
+                                let _ = asg.terminate(id, now);
                                 if let Some(s) = instance_spans.remove(&id) {
                                     recorder.span_end(s, now.as_secs());
                                 }
@@ -442,22 +495,19 @@ impl Orchestrator {
                     }
                     for id in decision.terminate {
                         // Never scale-in a busy worker; it finishes its job first.
-                        if !busy.contains_key(&id) {
-                            if let Some(inst) = asg.instance_mut(id) {
-                                inst.terminate(now);
-                                fleet_series.record(now.as_secs(), asg.active_count() as f64);
-                                if let Some(s) = instance_spans.remove(&id) {
-                                    recorder.span_end(s, now.as_secs());
-                                }
-                                recorder.event(
-                                    now.as_secs(),
-                                    "scale_in",
-                                    vec![
-                                        ("instance", JsonValue::from(id.0)),
-                                        ("pending", JsonValue::from(pending)),
-                                    ],
-                                );
+                        if !busy.contains_key(&id) && matches!(asg.terminate(id, now), Ok(true)) {
+                            fleet_series.record(now.as_secs(), asg.active_count() as f64);
+                            if let Some(s) = instance_spans.remove(&id) {
+                                recorder.span_end(s, now.as_secs());
                             }
+                            recorder.event(
+                                now.as_secs(),
+                                "scale_in",
+                                vec![
+                                    ("instance", JsonValue::from(id.0)),
+                                    ("pending", JsonValue::from(pending)),
+                                ],
+                            );
                         }
                     }
                     timeline.push(FleetSample {
@@ -569,9 +619,9 @@ impl Orchestrator {
                             // events exist and the log is byte-identical to a
                             // monitor-free build.
                             let (result, history) = if monitor.is_some() {
-                                self.pipeline.run_accession_with_history(&accession)?
+                                self.workload.run_accession_with_history(&accession)?
                             } else {
-                                (self.pipeline.run_accession(&accession)?, Vec::new())
+                                (self.workload.run_accession(&accession)?, Vec::new())
                             };
                             if !history.is_empty() {
                                 emit_progress_events(
@@ -783,26 +833,23 @@ impl Orchestrator {
                     }
                 }
                 Event::Interruption(id) => {
-                    if let Some(inst) = asg.instance_mut(id) {
-                        if inst.state != InstanceState::Terminated {
-                            interruptions += 1;
-                            inst.terminate(now);
-                            let was_busy = busy.remove(&id).is_some();
-                            fleet_series.record(now.as_secs(), asg.active_count() as f64);
-                            busy_series.record(now.as_secs(), busy.len() as f64);
-                            if let Some(s) = instance_spans.remove(&id) {
-                                recorder.span_end(s, now.as_secs());
-                            }
-                            recorder.event(
-                                now.as_secs(),
-                                "spot_interruption",
-                                vec![
-                                    ("instance", JsonValue::from(id.0)),
-                                    ("was_busy", JsonValue::from(was_busy)),
-                                ],
-                            );
-                            recorder.counter_add("spot_interruptions", 1);
+                    if matches!(asg.terminate(id, now), Ok(true)) {
+                        interruptions += 1;
+                        let was_busy = busy.remove(&id).is_some();
+                        fleet_series.record(now.as_secs(), asg.active_count() as f64);
+                        busy_series.record(now.as_secs(), busy.len() as f64);
+                        if let Some(s) = instance_spans.remove(&id) {
+                            recorder.span_end(s, now.as_secs());
                         }
+                        recorder.event(
+                            now.as_secs(),
+                            "spot_interruption",
+                            vec![
+                                ("instance", JsonValue::from(id.0)),
+                                ("was_busy", JsonValue::from(was_busy)),
+                            ],
+                        );
+                        recorder.counter_add("spot_interruptions", 1);
                     }
                 }
             }
@@ -815,9 +862,7 @@ impl Orchestrator {
         let instances_launched = asg.instances().len();
         let ids: Vec<InstanceId> = asg.instances().iter().map(|i| i.id).collect();
         for id in ids {
-            if let Some(inst) = asg.instance_mut(id) {
-                inst.terminate(end);
-            }
+            let _ = asg.terminate(id, end);
             if let Some(s) = instance_spans.remove(&id) {
                 recorder.span_end(s, end.as_secs());
             }
@@ -896,6 +941,7 @@ impl Orchestrator {
             wasted_compute_secs: wasted_secs,
             telemetry: campaign_telemetry,
             alerts: monitor.map(|m| m.alerts()).unwrap_or_default(),
+            sim_events: n_events,
         })
     }
 }
@@ -905,7 +951,7 @@ impl Orchestrator {
 /// seed/stitch/extend grandchildren (split by measured work units). Only spans
 /// with `outcome == "ok"` feed [`telemetry::summarize`]'s stage statistics.
 #[allow(clippy::too_many_arguments)]
-fn emit_job_spans(
+pub(crate) fn emit_job_spans(
     recorder: &Recorder,
     parent: SpanId,
     accession: &str,
@@ -952,7 +998,7 @@ fn emit_job_spans(
 /// reflects an early-stop cut, so the last snapshot lands exactly when the
 /// stage ends — an `early_stop_eligible` alert therefore always precedes the
 /// backdated `early_stop` decision event for the same accession.
-fn emit_progress_events(
+pub(crate) fn emit_progress_events(
     recorder: &Recorder,
     accession: &str,
     instance: InstanceId,
@@ -994,7 +1040,7 @@ fn emit_progress_events(
 
 /// DESeq2 step: assemble the counts matrix over accessions that produced counts and
 /// normalize it. Returns `None` when there is nothing usable.
-fn build_normalized(results: &[PipelineResult]) -> Option<NormalizedMatrix> {
+pub(crate) fn build_normalized(results: &[PipelineResult]) -> Option<NormalizedMatrix> {
     let with_counts: Vec<&PipelineResult> =
         results.iter().filter(|r| r.gene_counts.is_some()).collect();
     if with_counts.is_empty() {

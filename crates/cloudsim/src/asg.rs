@@ -5,11 +5,19 @@
 //! `ceil(pending_messages / target_backlog_per_instance)`, clamped to `[min, max]`.
 //! The group only *decides* sizes; the orchestrator launches/terminates instances and
 //! charges their cost.
+//!
+//! Fleet bookkeeping is kernel-grade: instance lookup is O(1) (ids are dense serials
+//! into the launch vector), the active count is a maintained counter, and the live
+//! set is an ordered `BTreeSet` keyed `(newest-first launch time, id)` so a scale-in
+//! decision reads the victims straight off the set — no scan, no sort, and no hash
+//! iteration anywhere near scheduling order.
 
 use crate::instance::{Instance, InstanceId, InstanceState, InstanceType};
 use crate::time::SimTime;
 use crate::CloudError;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use telemetry::{JsonValue, Recorder};
 
@@ -57,6 +65,9 @@ pub struct AutoScalingGroup {
     spot: bool,
     instances: Vec<Instance>,
     next_id: u64,
+    /// Non-terminated instances ordered newest-first (launch-time ties break on
+    /// id, matching the stable sort the scan-based implementation used).
+    live: BTreeSet<(Reverse<SimTime>, InstanceId)>,
     /// Telemetry sink, when attached. Scaling decisions never depend on it.
     recorder: Option<Arc<Recorder>>,
 }
@@ -84,6 +95,7 @@ impl AutoScalingGroup {
             spot,
             instances: Vec::new(),
             next_id: 1,
+            live: BTreeSet::new(),
             recorder: None,
         })
     }
@@ -108,33 +120,47 @@ impl AutoScalingGroup {
         &self.instances
     }
 
-    /// Mutable instance lookup by id.
-    pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut Instance> {
-        self.instances.iter_mut().find(|i| i.id == id)
+    /// Instance lookup by id. O(1): ids are dense serials into the launch vector.
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        let inst = self.instances.get(id.0.checked_sub(1)? as usize)?;
+        debug_assert_eq!(inst.id, id);
+        Some(inst)
     }
 
-    /// Instances not yet terminated.
+    /// Mutable instance lookup by id. O(1). Use this for state transitions that
+    /// keep the instance active (`mark_running`); terminations must go through
+    /// [`AutoScalingGroup::terminate`] so the group's live set stays consistent.
+    pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut Instance> {
+        let inst = self.instances.get_mut(id.0.checked_sub(1)? as usize)?;
+        debug_assert_eq!(inst.id, id);
+        Some(inst)
+    }
+
+    /// Instances not yet terminated. O(1).
     pub fn active_count(&self) -> usize {
-        self.instances.iter().filter(|i| i.state != InstanceState::Terminated).count()
+        self.live.len()
     }
 
     /// Evaluate the policy against the backlog and return what to do. The caller
     /// applies the decision via [`AutoScalingGroup::launch`] /
-    /// [`AutoScalingGroup::instance_mut`] + `terminate` so that it can schedule the
-    /// corresponding events.
+    /// [`AutoScalingGroup::terminate`] so that it can schedule the corresponding
+    /// events.
     pub fn evaluate(&self, pending_messages: usize) -> ScaleDecision {
         let desired = self.policy.desired_capacity(pending_messages);
         let active = self.active_count() as u32;
         if desired > active {
             ScaleDecision { launch: desired - active, terminate: Vec::new() }
         } else if desired < active {
-            // Scale in newest-first (shortest-lived instances lose least state).
-            let mut live: Vec<&Instance> =
-                self.instances.iter().filter(|i| i.state != InstanceState::Terminated).collect();
-            live.sort_by_key(|i| std::cmp::Reverse(i.launched_at));
+            // Scale in newest-first (shortest-lived instances lose least state):
+            // the live set is already in that order.
             ScaleDecision {
                 launch: 0,
-                terminate: live.iter().take((active - desired) as usize).map(|i| i.id).collect(),
+                terminate: self
+                    .live
+                    .iter()
+                    .take((active - desired) as usize)
+                    .map(|&(_, id)| id)
+                    .collect(),
             }
         } else {
             ScaleDecision::default()
@@ -146,6 +172,7 @@ impl AutoScalingGroup {
         let id = InstanceId(self.next_id);
         self.next_id += 1;
         self.instances.push(Instance::launch(id, self.itype, self.spot, now));
+        self.live.insert((Reverse(now), id));
         if let Some(rec) = &self.recorder {
             rec.event(
                 now.as_secs(),
@@ -160,6 +187,25 @@ impl AutoScalingGroup {
             rec.counter_add("instances_launched", 1);
         }
         id
+    }
+
+    /// Terminate an instance, removing it from the live set. Idempotent (a spot
+    /// interruption can race a scale-in decision); returns whether this call did
+    /// the termination. `Err` only for an id the group never issued.
+    pub fn terminate(&mut self, id: InstanceId, now: SimTime) -> Result<bool, CloudError> {
+        let key = {
+            let inst = self
+                .instance(id)
+                .ok_or_else(|| CloudError::InvalidState(format!("{id} was never launched")))?;
+            if inst.state == InstanceState::Terminated {
+                return Ok(false);
+            }
+            (Reverse(inst.launched_at), id)
+        };
+        let removed = self.live.remove(&key);
+        debug_assert!(removed, "live set out of sync with instance state");
+        self.instance_mut(id).expect("checked above").terminate(now);
+        Ok(true)
     }
 }
 
@@ -202,7 +248,7 @@ mod tests {
         assert_eq!(d.terminate.len(), 3);
         // No-op at steady state.
         for id in d.terminate {
-            g.instance_mut(id).unwrap().terminate(SimTime::from_secs(100.0));
+            assert!(g.terminate(id, SimTime::from_secs(100.0)).unwrap());
         }
         assert_eq!(g.evaluate(5), ScaleDecision::default());
     }
@@ -216,6 +262,40 @@ mod tests {
         let d = g.evaluate(0); // desired = min = 1 → terminate 2
         assert_eq!(d.terminate, vec![newest, newer]);
         assert!(!d.terminate.contains(&old));
+    }
+
+    #[test]
+    fn scale_in_ties_break_on_launch_order() {
+        // Several instances launched the same instant (one ScaleTick burst): the
+        // decision must list them in launch order, exactly like the legacy stable
+        // sort did — this pins the tie-break the differential harness depends on.
+        let mut g = AutoScalingGroup::new(
+            ScalingPolicy { min_size: 0, max_size: 8, target_backlog_per_instance: 10 },
+            InstanceType::by_name("r6a.4xlarge").unwrap(),
+            true,
+        )
+        .unwrap();
+        let a = g.launch(SimTime::from_secs(50.0));
+        let b = g.launch(SimTime::from_secs(50.0));
+        let c = g.launch(SimTime::from_secs(50.0));
+        let older = g.launch(SimTime::from_secs(10.0));
+        // All four live; desired 0 → everything terminates, same-time trio in
+        // id order before the older straggler.
+        assert_eq!(g.evaluate(0).terminate, vec![a, b, c, older]);
+        // Partial scale-in takes a prefix of that order.
+        assert_eq!(g.evaluate(25).terminate, vec![a]);
+    }
+
+    #[test]
+    fn terminate_is_idempotent_and_updates_active_count() {
+        let mut g = group();
+        let id = g.launch(SimTime::from_secs(0.0));
+        assert_eq!(g.active_count(), 1);
+        assert!(g.terminate(id, SimTime::from_secs(5.0)).unwrap());
+        assert_eq!(g.active_count(), 0);
+        assert!(!g.terminate(id, SimTime::from_secs(9.0)).unwrap(), "second call is a no-op");
+        assert_eq!(g.instance(id).unwrap().terminated_at, Some(SimTime::from_secs(5.0)));
+        assert!(g.terminate(InstanceId(99), SimTime::ZERO).is_err(), "unknown id rejected");
     }
 
     #[test]

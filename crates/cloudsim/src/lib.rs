@@ -27,6 +27,7 @@
 
 pub mod asg;
 pub mod cost;
+pub mod devent;
 pub mod error;
 pub mod event;
 pub mod faults;
@@ -40,6 +41,7 @@ pub mod time;
 
 pub use asg::{AutoScalingGroup, ScalingPolicy};
 pub use cost::CostTracker;
+pub use devent::{Kernel, KernelStats, TimerId};
 pub use error::CloudError;
 pub use event::EventQueue;
 pub use faults::{FaultEvent, FaultInjector, FaultOp, FaultPlan, SpotBurst};

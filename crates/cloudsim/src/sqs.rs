@@ -10,11 +10,30 @@
 //! moved to the DLQ instead of being delivered again, so a poison accession cannot
 //! spin the fleet forever — and campaign accounting can prove conservation
 //! (`completed + dead_lettered == sent`).
+//!
+//! # Discrete-event internals
+//!
+//! This implementation is kernel-grade: nothing scans the message store. Visibility
+//! expiries are *scheduled events* on an internal min-heap keyed `(expiry, index)`;
+//! [`SqsQueue::receive`] drains only the entries that have actually come due,
+//! re-queueing them in message-index order (the same order the original lazy
+//! full-scan reconciliation produced, so delivery schedules are unchanged).
+//! Receipt lookups go through an index map instead of a linear search, and
+//! [`SqsQueue::pending_count`] is a maintained counter. All operations are
+//! O(log n) or better; a 10^6-message campaign costs the same per operation as a
+//! 30-message one. The map is lookup-only (never iterated), so hashing cannot
+//! perturb delivery order.
+//!
+//! The original scan-based implementation is preserved verbatim as
+//! [`legacy::LegacySqsQueue`]: it drives the legacy orchestration loop and serves
+//! as the differential oracle the property tests pin this implementation against,
+//! operation for operation. It is slated for removal with the legacy loop.
 
 use crate::time::{SimDuration, SimTime};
 use crate::CloudError;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Receipt handle returned by [`SqsQueue::receive`]; required to delete or extend.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,6 +51,8 @@ struct StoredMessage<M> {
     current_receipt: Option<ReceiptHandle>,
     /// True once deleted.
     deleted: bool,
+    /// True while the message's index sits in the visible deque.
+    queued: bool,
     /// When the message was sent.
     sent_at: SimTime,
     /// When it was first delivered, once delivered.
@@ -39,18 +60,27 @@ struct StoredMessage<M> {
 }
 
 /// The queue. Time never advances inside it: callers pass `now` explicitly (from the
-/// event queue) and the message store reconciles visibility lazily.
+/// event queue) and visibility expiries fire from an internal event heap.
 #[derive(Debug)]
 pub struct SqsQueue<M> {
     messages: Vec<StoredMessage<M>>,
     /// Indices of (potentially) visible messages, FIFO.
     visible: VecDeque<usize>,
+    /// Scheduled visibility expiries `(when, message index)`. Entries are
+    /// validated against the message's current `invisible_until` when they come
+    /// due, so a lease extension simply strands the old entry.
+    expiries: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Live receipt → message index. Lookup-only: never iterated, so the map's
+    /// internal order cannot influence anything observable.
+    receipts: HashMap<u64, usize>,
     default_visibility: SimDuration,
     next_receipt: u64,
     /// Deliveries allowed before a message dead-letters (None = unbounded).
     max_receive_count: Option<u32>,
     /// Bodies moved to the dead-letter queue, in dead-letter order.
     dead_letters: Vec<M>,
+    /// Undeleted messages (maintained counter; answers `pending_count` in O(1)).
+    live: usize,
 }
 
 impl<M: Clone> SqsQueue<M> {
@@ -59,10 +89,13 @@ impl<M: Clone> SqsQueue<M> {
         SqsQueue {
             messages: Vec::new(),
             visible: VecDeque::new(),
+            expiries: BinaryHeap::new(),
+            receipts: HashMap::new(),
             default_visibility,
             next_receipt: 1,
             max_receive_count: None,
             dead_letters: Vec::new(),
+            live: 0,
         }
     }
 
@@ -89,10 +122,12 @@ impl<M: Clone> SqsQueue<M> {
             invisible_until: None,
             current_receipt: None,
             deleted: false,
+            queued: true,
             sent_at: now,
             first_received_at: None,
         });
         self.visible.push_back(idx);
+        self.live += 1;
     }
 
     /// Try to receive one message at time `now`. Returns the body, its receipt
@@ -100,14 +135,15 @@ impl<M: Clone> SqsQueue<M> {
     pub fn receive(&mut self, now: SimTime) -> Option<(M, ReceiptHandle, u32)> {
         self.reconcile(now);
         while let Some(idx) = self.visible.pop_front() {
+            self.messages[idx].queued = false;
             let msg = &mut self.messages[idx];
             if msg.deleted {
                 continue;
             }
             if let Some(t) = msg.invisible_until {
                 if t > now {
-                    // Still in flight: keep it out of the visible list; reconcile
-                    // will re-add it on expiry.
+                    // Re-leased while queued (duplicate-delivery dance): drop it
+                    // from the deque; its expiry event will re-queue it.
                     continue;
                 }
             }
@@ -116,8 +152,11 @@ impl<M: Clone> SqsQueue<M> {
                     // Redrive: the message used up its deliveries; dead-letter it.
                     msg.deleted = true;
                     msg.invisible_until = None;
-                    msg.current_receipt = None;
+                    if let Some(r) = msg.current_receipt.take() {
+                        self.receipts.remove(&r.0);
+                    }
                     self.dead_letters.push(msg.body.clone());
+                    self.live -= 1;
                     continue;
                 }
             }
@@ -125,25 +164,43 @@ impl<M: Clone> SqsQueue<M> {
             if msg.first_received_at.is_none() {
                 msg.first_received_at = Some(now);
             }
-            msg.invisible_until = Some(now + self.default_visibility);
+            let until = now + self.default_visibility;
+            msg.invisible_until = Some(until);
+            if let Some(old) = msg.current_receipt.take() {
+                // A duplicate delivery superseded: the first consumer's receipt
+                // goes stale the moment the message is delivered again.
+                self.receipts.remove(&old.0);
+            }
             let receipt = ReceiptHandle(self.next_receipt);
             self.next_receipt += 1;
             msg.current_receipt = Some(receipt);
-            return Some((msg.body.clone(), receipt, msg.receive_count));
+            let body = msg.body.clone();
+            let count = msg.receive_count;
+            self.receipts.insert(receipt.0, idx);
+            self.expiries.push(Reverse((until, idx)));
+            return Some((body, receipt, count));
         }
         None
+    }
+
+    /// Look up a live receipt, or report it stale.
+    fn receipt_index(&self, receipt: ReceiptHandle) -> Result<usize, CloudError> {
+        self.receipts
+            .get(&receipt.0)
+            .copied()
+            .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))
     }
 
     /// Delete a message by receipt. Fails if the receipt is stale (the message timed
     /// out and was redelivered, or was already deleted).
     pub fn delete(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
-        let msg = self
-            .messages
-            .iter_mut()
-            .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
-            .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
+        let idx = self.receipt_index(receipt)?;
+        let msg = &mut self.messages[idx];
+        debug_assert!(!msg.deleted && msg.current_receipt == Some(receipt));
         msg.deleted = true;
         msg.current_receipt = None;
+        self.receipts.remove(&receipt.0);
+        self.live -= 1;
         Ok(())
     }
 
@@ -155,12 +212,10 @@ impl<M: Clone> SqsQueue<M> {
         now: SimTime,
         timeout: SimDuration,
     ) -> Result<(), CloudError> {
-        let msg = self
-            .messages
-            .iter_mut()
-            .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
-            .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
-        msg.invisible_until = Some(now + timeout);
+        let idx = self.receipt_index(receipt)?;
+        let until = now + timeout;
+        self.messages[idx].invisible_until = Some(until);
+        self.expiries.push(Reverse((until, idx)));
         Ok(())
     }
 
@@ -184,19 +239,34 @@ impl<M: Clone> SqsQueue<M> {
             .count()
     }
 
-    /// Total undeleted messages (visible + in flight).
+    /// Total undeleted messages (visible + in flight). O(1).
     pub fn pending_count(&self) -> usize {
-        self.messages.iter().filter(|m| !m.deleted).count()
+        self.live
+    }
+
+    /// The earliest scheduled visibility expiry still in force, if any — the next
+    /// instant the visible set can grow without a new send. Event-driven callers
+    /// use this to schedule their wake-up instead of polling blind.
+    pub fn next_visible_at(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, idx))) = self.expiries.peek() {
+            let msg = &self.messages[idx];
+            if !msg.deleted && msg.invisible_until == Some(t) {
+                return Some(t);
+            }
+            // Stranded entry (lease extended, message deleted, or already
+            // reconciled): discard and keep looking.
+            self.expiries.pop();
+        }
+        None
     }
 
     /// Queue wait of the message currently held under `receipt`: the interval from
     /// send to *first* delivery (at-least-once redeliveries don't reset it).
     /// `None` for a stale receipt.
     pub fn queue_wait(&self, receipt: ReceiptHandle) -> Option<SimDuration> {
-        self.messages
-            .iter()
-            .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
-            .and_then(|m| m.first_received_at.map(|t| t - m.sent_at))
+        let idx = self.receipts.get(&receipt.0).copied()?;
+        let m = &self.messages[idx];
+        m.first_received_at.map(|t| t - m.sent_at)
     }
 
     /// Bodies that were dead-lettered, in DLQ arrival order.
@@ -214,31 +284,268 @@ impl<M: Clone> SqsQueue<M> {
     /// visibility is best-effort, not a lock). The original consumer keeps a valid
     /// receipt until the message is delivered again.
     pub fn force_visible(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
-        let idx = self
-            .messages
-            .iter()
-            .position(|m| m.current_receipt == Some(receipt) && !m.deleted)
-            .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
-        self.messages[idx].invisible_until = None;
-        if !self.visible.contains(&idx) {
+        let idx = self.receipt_index(receipt)?;
+        let msg = &mut self.messages[idx];
+        msg.invisible_until = None;
+        if !msg.queued {
+            msg.queued = true;
             self.visible.push_back(idx);
         }
         Ok(())
     }
 
-    /// Re-queue messages whose visibility timeout expired.
+    /// Fire the visibility expiries that have come due: each expired message's
+    /// receipt goes stale and the message is re-queued. Messages expiring in the
+    /// same reconciliation batch re-queue in message-index order — exactly the
+    /// order the legacy full-scan produced — so the two implementations are
+    /// delivery-schedule-identical.
     fn reconcile(&mut self, now: SimTime) {
-        for (idx, msg) in self.messages.iter_mut().enumerate() {
-            if msg.deleted {
-                continue;
+        if self.expiries.peek().is_none_or(|&Reverse((t, _))| t > now) {
+            return;
+        }
+        let mut due: Vec<(usize, SimTime)> = Vec::new();
+        while let Some(&Reverse((t, idx))) = self.expiries.peek() {
+            if t > now {
+                break;
             }
-            if let Some(t) = msg.invisible_until {
-                if t <= now {
-                    // Expired: receipt becomes stale, message is visible again.
-                    msg.invisible_until = None;
-                    msg.current_receipt = None;
-                    if !self.visible.contains(&idx) {
-                        self.visible.push_back(idx);
+            self.expiries.pop();
+            due.push((idx, t));
+        }
+        // Index order, then schedule order within an index (only the entry
+        // matching the live lease validates; the rest are stranded).
+        due.sort_unstable_by_key(|&(idx, t)| (idx, t));
+        for (idx, t) in due {
+            let msg = &mut self.messages[idx];
+            if msg.deleted || msg.invisible_until != Some(t) {
+                continue; // stranded entry: superseded lease or finished message
+            }
+            // Expired: receipt becomes stale, message is visible again.
+            msg.invisible_until = None;
+            if let Some(r) = msg.current_receipt.take() {
+                self.receipts.remove(&r.0);
+            }
+            if !msg.queued {
+                msg.queued = true;
+                self.visible.push_back(idx);
+            }
+        }
+    }
+}
+
+pub mod legacy {
+    //! The original scan-based queue, preserved verbatim as a differential oracle.
+    //!
+    //! [`LegacySqsQueue`] reconciles visibility by scanning the entire message
+    //! store on every receive and resolves receipts by linear search — O(n) per
+    //! operation, which is what capped campaigns at tens of accessions. It remains
+    //! only to (a) drive the legacy per-tick orchestration loop and (b) oracle the
+    //! differential property tests that pin [`super::SqsQueue`]'s semantics. It
+    //! will be deleted together with the legacy loop once the discrete-event
+    //! kernel is the sole engine.
+
+    use crate::time::{SimDuration, SimTime};
+    use crate::CloudError;
+    use std::collections::VecDeque;
+
+    pub use super::ReceiptHandle;
+
+    #[derive(Clone, Debug)]
+    struct StoredMessage<M> {
+        body: M,
+        receive_count: u32,
+        invisible_until: Option<SimTime>,
+        current_receipt: Option<ReceiptHandle>,
+        deleted: bool,
+        sent_at: SimTime,
+        first_received_at: Option<SimTime>,
+    }
+
+    /// The scan-based queue (see the module docs). API-identical to
+    /// [`super::SqsQueue`].
+    #[derive(Debug)]
+    pub struct LegacySqsQueue<M> {
+        messages: Vec<StoredMessage<M>>,
+        visible: VecDeque<usize>,
+        default_visibility: SimDuration,
+        next_receipt: u64,
+        max_receive_count: Option<u32>,
+        dead_letters: Vec<M>,
+    }
+
+    impl<M: Clone> LegacySqsQueue<M> {
+        /// An empty queue with the given default visibility timeout.
+        pub fn new(default_visibility: SimDuration) -> LegacySqsQueue<M> {
+            LegacySqsQueue {
+                messages: Vec::new(),
+                visible: VecDeque::new(),
+                default_visibility,
+                next_receipt: 1,
+                max_receive_count: None,
+                dead_letters: Vec::new(),
+            }
+        }
+
+        /// Attach a dead-letter policy (AWS redrive semantics).
+        pub fn with_max_receive_count(mut self, n: u32) -> LegacySqsQueue<M> {
+            assert!(n >= 1, "max_receive_count must be >= 1");
+            self.max_receive_count = Some(n);
+            self
+        }
+
+        /// Send a message at campaign start (`t = 0`).
+        pub fn send(&mut self, body: M) {
+            self.send_at(body, SimTime::ZERO);
+        }
+
+        /// Send a message at time `now`.
+        pub fn send_at(&mut self, body: M, now: SimTime) {
+            let idx = self.messages.len();
+            self.messages.push(StoredMessage {
+                body,
+                receive_count: 0,
+                invisible_until: None,
+                current_receipt: None,
+                deleted: false,
+                sent_at: now,
+                first_received_at: None,
+            });
+            self.visible.push_back(idx);
+        }
+
+        /// Try to receive one message at time `now`.
+        pub fn receive(&mut self, now: SimTime) -> Option<(M, ReceiptHandle, u32)> {
+            self.reconcile(now);
+            while let Some(idx) = self.visible.pop_front() {
+                let msg = &mut self.messages[idx];
+                if msg.deleted {
+                    continue;
+                }
+                if let Some(t) = msg.invisible_until {
+                    if t > now {
+                        continue;
+                    }
+                }
+                if let Some(max) = self.max_receive_count {
+                    if msg.receive_count >= max {
+                        msg.deleted = true;
+                        msg.invisible_until = None;
+                        msg.current_receipt = None;
+                        self.dead_letters.push(msg.body.clone());
+                        continue;
+                    }
+                }
+                msg.receive_count += 1;
+                if msg.first_received_at.is_none() {
+                    msg.first_received_at = Some(now);
+                }
+                msg.invisible_until = Some(now + self.default_visibility);
+                let receipt = ReceiptHandle(self.next_receipt);
+                self.next_receipt += 1;
+                msg.current_receipt = Some(receipt);
+                return Some((msg.body.clone(), receipt, msg.receive_count));
+            }
+            None
+        }
+
+        /// Delete a message by receipt.
+        pub fn delete(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
+            let msg = self
+                .messages
+                .iter_mut()
+                .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
+                .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
+            msg.deleted = true;
+            msg.current_receipt = None;
+            Ok(())
+        }
+
+        /// Extend (or shrink) the visibility of an in-flight message.
+        pub fn change_visibility(
+            &mut self,
+            receipt: ReceiptHandle,
+            now: SimTime,
+            timeout: SimDuration,
+        ) -> Result<(), CloudError> {
+            let msg = self
+                .messages
+                .iter_mut()
+                .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
+                .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
+            msg.invisible_until = Some(now + timeout);
+            Ok(())
+        }
+
+        /// Messages currently visible (deliverable) at `now`.
+        pub fn visible_count(&mut self, now: SimTime) -> usize {
+            self.reconcile(now);
+            self.visible
+                .iter()
+                .filter(|&&i| {
+                    let m = &self.messages[i];
+                    !m.deleted && m.invisible_until.is_none_or(|t| t <= now)
+                })
+                .count()
+        }
+
+        /// Messages in flight at `now`.
+        pub fn in_flight_count(&self, now: SimTime) -> usize {
+            self.messages
+                .iter()
+                .filter(|m| !m.deleted && m.invisible_until.is_some_and(|t| t > now))
+                .count()
+        }
+
+        /// Total undeleted messages (visible + in flight). O(n).
+        pub fn pending_count(&self) -> usize {
+            self.messages.iter().filter(|m| !m.deleted).count()
+        }
+
+        /// Queue wait of the message currently held under `receipt`.
+        pub fn queue_wait(&self, receipt: ReceiptHandle) -> Option<SimDuration> {
+            self.messages
+                .iter()
+                .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
+                .and_then(|m| m.first_received_at.map(|t| t - m.sent_at))
+        }
+
+        /// Bodies that were dead-lettered, in DLQ arrival order.
+        pub fn dead_letters(&self) -> &[M] {
+            &self.dead_letters
+        }
+
+        /// Number of dead-lettered messages.
+        pub fn dead_letter_count(&self) -> usize {
+            self.dead_letters.len()
+        }
+
+        /// Force an in-flight message back to visible without invalidating the
+        /// receipt (duplicate delivery).
+        pub fn force_visible(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
+            let idx = self
+                .messages
+                .iter()
+                .position(|m| m.current_receipt == Some(receipt) && !m.deleted)
+                .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
+            self.messages[idx].invisible_until = None;
+            if !self.visible.contains(&idx) {
+                self.visible.push_back(idx);
+            }
+            Ok(())
+        }
+
+        /// Re-queue messages whose visibility timeout expired (full scan).
+        fn reconcile(&mut self, now: SimTime) {
+            for (idx, msg) in self.messages.iter_mut().enumerate() {
+                if msg.deleted {
+                    continue;
+                }
+                if let Some(t) = msg.invisible_until {
+                    if t <= now {
+                        msg.invisible_until = None;
+                        msg.current_receipt = None;
+                        if !self.visible.contains(&idx) {
+                            self.visible.push_back(idx);
+                        }
                     }
                 }
             }
@@ -397,6 +704,41 @@ mod tests {
         assert!(q.delete(r1).is_err());
         q.delete(r2).unwrap();
         assert_eq!(q.pending_count(), 0);
+    }
+
+    #[test]
+    fn release_while_queued_drops_and_requeues_via_expiry() {
+        // force_visible puts the message back in the deque while its consumer
+        // still holds the receipt; a lease extension then re-hides the *queued*
+        // message. The delivery attempt must skip it and the extended lease's
+        // expiry must resurface it — the exact dance the legacy scan performed.
+        let mut q = queue();
+        q.send("a".into());
+        let (_, r, _) = q.receive(t(0.0)).unwrap();
+        q.force_visible(r).unwrap();
+        q.change_visibility(r, t(5.0), SimDuration::from_secs(50.0)).unwrap();
+        assert!(q.receive(t(6.0)).is_none(), "re-hidden while queued");
+        assert_eq!(q.pending_count(), 1);
+        let (_, _, c) = q.receive(t(56.0)).unwrap();
+        assert_eq!(c, 2, "extended lease expired, message redelivered");
+    }
+
+    #[test]
+    fn next_visible_at_tracks_the_earliest_live_lease() {
+        let mut q = queue();
+        assert_eq!(q.next_visible_at(), None);
+        q.send("a".into());
+        q.send("b".into());
+        assert_eq!(q.next_visible_at(), None, "visible messages have no expiry");
+        let (_, ra, _) = q.receive(t(0.0)).unwrap();
+        let (_, rb, _) = q.receive(t(2.0)).unwrap();
+        assert_eq!(q.next_visible_at(), Some(t(30.0)));
+        // Extending the earlier lease strands its entry; the next live one wins.
+        q.change_visibility(ra, t(3.0), SimDuration::from_secs(100.0)).unwrap();
+        assert_eq!(q.next_visible_at(), Some(t(32.0)));
+        // Deleting the other leaves only the extended lease.
+        q.delete(rb).unwrap();
+        assert_eq!(q.next_visible_at(), Some(t(103.0)));
     }
 
     #[test]

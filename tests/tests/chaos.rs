@@ -10,7 +10,7 @@
 //!   byte for byte, and a different fault seed produces a different trajectory.
 
 use atlas_pipeline::experiments::Substrate;
-use atlas_pipeline::orchestrator::{CampaignConfig, CampaignReport, Orchestrator};
+use atlas_pipeline::orchestrator::{CampaignConfig, CampaignEngine, CampaignReport, Orchestrator};
 use atlas_pipeline::pipeline::{AtlasPipeline, PipelineConfig};
 use cloudsim::faults::{FaultPlan, SpotBurst};
 use cloudsim::instance::InstanceType;
@@ -138,6 +138,30 @@ fn chaos_campaigns_replay_bit_for_bit_and_diverge_across_seeds() {
         b.summary_digest(),
         "a different fault seed must steer the campaign differently"
     );
+}
+
+#[test]
+fn legacy_engine_still_replays_and_matches_the_kernel() {
+    // The tick loop is frozen as a differential oracle; it must keep replaying
+    // bit for bit and keep agreeing with the kernel engine (the default the
+    // tests above now run on). Deeper equivalence checks live in devent_diff.rs.
+    let (pipeline, ids) = pipeline_fixture(10);
+    let run_legacy = || {
+        let mut cfg = chaos_config(FaultPlan::chaos(7));
+        cfg.engine = CampaignEngine::LegacyTick;
+        Orchestrator::new(Arc::clone(&pipeline), cfg).unwrap().run(&ids).unwrap()
+    };
+    let l1 = run_legacy();
+    let l2 = run_legacy();
+    assert_eq!(l1.summary_digest(), l2.summary_digest(), "the oracle must stay deterministic");
+
+    let kernel = run_chaos(&pipeline, &ids, FaultPlan::chaos(7));
+    assert_eq!(
+        l1.summary_digest(),
+        kernel.summary_digest(),
+        "oracle and kernel must agree on the same chaos seed"
+    );
+    assert_eq!(l1.sim_events, kernel.sim_events);
 }
 
 #[test]

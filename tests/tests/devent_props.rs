@@ -1,0 +1,189 @@
+//! Property tests of the discrete-event kernel's ordering contract.
+//!
+//! The kernel's promises (crates/cloudsim/src/devent.rs):
+//!
+//! 1. pops come out in `(time, sequence)` order — earliest first, equal
+//!    timestamps strictly FIFO in scheduling order;
+//! 2. the order is stable under arbitrary interleavings of schedule/pop/cancel
+//!    (a heap rebalance can never reorder equal keys);
+//! 3. the clock is monotone: dispatch timestamps never decrease;
+//! 4. cancelled timers never fire, exactly-once accounting holds
+//!    (`scheduled == dispatched + cancelled + pending` at all times);
+//! 5. a recorded operation trace replayed into a fresh kernel reproduces the
+//!    trace byte for byte (the foundation of campaign replayability).
+
+use cloudsim::devent::TraceOp;
+use cloudsim::{Kernel, SimTime, TimerId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Scripted kernel operation. Times are offsets added to `now` so schedules are
+/// always legal; indices are reduced modulo the live handle list.
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule(f64),
+    Pop,
+    Cancel(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0.0f64..100.0).prop_map(Op::Schedule),
+        3 => Just(Op::Pop),
+        1 => (0usize..16).prop_map(Op::Cancel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Invariant 1: a batch of events sharing timestamps pops sorted by time,
+    /// FIFO within a timestamp — exactly a stable sort by time of the
+    /// scheduling order.
+    #[test]
+    fn same_timestamp_events_pop_in_insertion_order(
+        times in prop::collection::vec(0u8..6, 1..60),
+    ) {
+        let mut k: Kernel<usize> = Kernel::new();
+        let mut expected: Vec<(u8, usize)> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            k.schedule(SimTime::from_secs(t as f64), i);
+            expected.push((t, i));
+        }
+        // Stable sort by time preserves insertion order within a timestamp.
+        expected.sort_by_key(|&(t, _)| t);
+        let popped: Vec<(u8, usize)> = std::iter::from_fn(|| k.pop())
+            .map(|(at, i)| (at.as_secs() as u8, i))
+            .collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Invariants 1-4 under interleaved schedule/pop/cancel: the kernel agrees
+    /// with a brute-force model (a vector stably sorted per pop), never fires a
+    /// cancelled timer, keeps the clock monotone, and balances its books.
+    #[test]
+    fn interleaved_ops_match_the_stable_model(
+        ops in prop::collection::vec(op_strategy(), 0..200),
+    ) {
+        let mut k: Kernel<u64> = Kernel::new();
+        // Model: payload -> (time_bits, seq) for every live (unpopped,
+        // uncancelled) event, mirrored by hand.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut handles: Vec<(TimerId, u64)> = Vec::new();
+        let mut next_payload = 0u64;
+        let mut last_at = f64::NEG_INFINITY;
+        let mut cancelled: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Schedule(dt) => {
+                    let at = k.now() + cloudsim::SimDuration::from_secs(dt);
+                    let id = k.schedule(at, next_payload);
+                    model.push((at.as_secs().to_bits(), next_payload));
+                    handles.push((id, next_payload));
+                    next_payload += 1;
+                }
+                Op::Cancel(i) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let (id, payload) = handles.remove(i % handles.len());
+                    prop_assert!(k.cancel(id), "live handle must cancel");
+                    prop_assert!(!k.cancel(id), "second cancel must be stale");
+                    let pos = model.iter().position(|&(_, p)| p == payload).unwrap();
+                    model.remove(pos);
+                    cancelled.push(payload);
+                }
+                Op::Pop => {
+                    // The model's next event: smallest time, earliest scheduled.
+                    // Model insertion order == scheduling order, and min_by
+                    // keeps the first of equal keys — the FIFO winner.
+                    let want = model
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| f64::from_bits(a.1 .0).total_cmp(&f64::from_bits(b.1 .0)))
+                        .map(|(i, _)| i);
+                    match (k.pop(), want) {
+                        (None, None) => {}
+                        (Some((at, payload)), Some(idx)) => {
+                            let (bits, expect_payload) = model.remove(idx);
+                            prop_assert_eq!(payload, expect_payload, "pop order diverged from model");
+                            prop_assert_eq!(at.as_secs().to_bits(), bits);
+                            // Invariant 3: monotone clock.
+                            prop_assert!(at.as_secs() >= last_at, "clock went backwards");
+                            last_at = at.as_secs();
+                            // Invariant 4: cancelled timers never fire.
+                            prop_assert!(!cancelled.contains(&payload), "cancelled timer fired");
+                            handles.retain(|&(_, p)| p != payload);
+                        }
+                        (got, want) => {
+                            prop_assert!(false, "kernel {:?} vs model {:?}", got.map(|g| g.1), want);
+                        }
+                    }
+                }
+            }
+            // Invariant 4: books balance after every operation.
+            let s = k.stats();
+            prop_assert_eq!(s.scheduled, s.dispatched + s.cancelled + k.len() as u64);
+            prop_assert_eq!(k.len(), model.len());
+        }
+    }
+
+    /// Invariant 5: replaying a recorded trace's schedule/cancel/pop operations
+    /// into a fresh kernel reproduces the trace byte for byte.
+    #[test]
+    fn recorded_trace_replays_byte_identically(
+        ops in prop::collection::vec(op_strategy(), 0..150),
+    ) {
+        // First run: record.
+        let mut k: Kernel<u64> = Kernel::new();
+        k.enable_trace();
+        let mut handles: Vec<TimerId> = Vec::new();
+        let mut payload = 0u64;
+        for op in &ops {
+            match op {
+                Op::Schedule(dt) => {
+                    let id = k.schedule(k.now() + cloudsim::SimDuration::from_secs(*dt), payload);
+                    payload += 1;
+                    handles.push(id);
+                }
+                Op::Cancel(i) => {
+                    if handles.is_empty() { continue; }
+                    let id = handles.remove(i % handles.len());
+                    k.cancel(id);
+                }
+                Op::Pop => {
+                    // Fired handles stay in the pool; cancelling one later is a
+                    // stale no-op that records nothing, which is fine — the
+                    // replay follows only the recorded (successful) operations.
+                    let _ = k.pop();
+                }
+            }
+        }
+        let recorded = k.trace_bytes();
+
+        // Replay: drive a fresh kernel with the *trace itself* (schedules at the
+        // recorded times, cancels by recorded seq, pops where recorded).
+        let mut r: Kernel<u64> = Kernel::new();
+        r.enable_trace();
+        let mut seq_map: HashMap<u64, TimerId> = HashMap::new();
+        for op in k.trace() {
+            match *op {
+                TraceOp::Schedule { at_bits, seq } => {
+                    let id = r.schedule(SimTime::from_secs(f64::from_bits(at_bits)), seq);
+                    prop_assert_eq!(id.seq(), seq, "sequence numbering must be deterministic");
+                    seq_map.insert(seq, id);
+                }
+                TraceOp::Cancel { seq } => {
+                    prop_assert!(r.cancel(seq_map[&seq]), "replayed cancel must hit a live timer");
+                }
+                TraceOp::Pop { at_bits, seq } => {
+                    let (at, p) = r.pop().expect("replayed pop must yield an event");
+                    prop_assert_eq!(at.as_secs().to_bits(), at_bits);
+                    prop_assert_eq!(p, seq, "replay popped a different event");
+                }
+            }
+        }
+        prop_assert_eq!(r.trace_bytes(), recorded, "replay must be byte-identical");
+    }
+}

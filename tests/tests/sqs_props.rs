@@ -152,4 +152,117 @@ proptest! {
         }
         prop_assert_eq!(deleted_count + drained + q.dead_letter_count(), n_msgs);
     }
+
+    /// Differential oracle: the heap/deque queue and the legacy scan queue,
+    /// driven with an identical operation script, must be observationally
+    /// indistinguishable — same receive results (body, receipt, count), same
+    /// success/failure on delete/extend/force-visible, same counters, same
+    /// dead-letter order. This is the broker-level half of the engine
+    /// equivalence proof (the campaign-level half lives in devent_diff.rs).
+    #[test]
+    fn new_queue_is_observationally_identical_to_legacy(
+        n_msgs in 1usize..8,
+        ops in prop::collection::vec(op_strategy(), 0..150),
+    ) {
+        use cloudsim::sqs::legacy::LegacySqsQueue;
+
+        let vis = SimDuration::from_secs(VISIBILITY_SECS);
+        let mut new_q: SqsQueue<u32> = SqsQueue::new(vis).with_max_receive_count(MAX_RECEIVE);
+        let mut old_q: LegacySqsQueue<u32> =
+            LegacySqsQueue::new(vis).with_max_receive_count(MAX_RECEIVE);
+        for m in 0..n_msgs as u32 {
+            new_q.send(m);
+            old_q.send(m);
+        }
+
+        let mut now = 0.0f64;
+        // Receipts come out of each queue's own numbering; track them pairwise
+        // so the same script index targets the same logical delivery in both.
+        let mut receipts: Vec<(ReceiptHandle, ReceiptHandle)> = Vec::new();
+
+        for op in ops {
+            let t = SimTime::from_secs(now);
+            match op {
+                Op::Advance(d) => now += d,
+                Op::Receive => {
+                    let a = new_q.receive(t);
+                    let b = old_q.receive(t);
+                    prop_assert_eq!(
+                        a.as_ref().map(|(m, _, c)| (*m, *c)),
+                        b.as_ref().map(|(m, _, c)| (*m, *c)),
+                        "receive diverged at t={}", now
+                    );
+                    if let (Some((_, ra, _)), Some((_, rb, _))) = (a, b) {
+                        // Receipt numbering is part of the observable contract:
+                        // both queues hand them out in delivery order.
+                        prop_assert_eq!(ra, rb, "receipt numbering diverged");
+                        receipts.push((ra, rb));
+                    }
+                }
+                Op::Delete(i) => {
+                    if receipts.is_empty() {
+                        continue;
+                    }
+                    let (ra, rb) = receipts.remove(i % receipts.len());
+                    prop_assert_eq!(
+                        new_q.delete(ra).is_ok(),
+                        old_q.delete(rb).is_ok(),
+                        "delete outcome diverged"
+                    );
+                }
+                Op::Extend(i, d) => {
+                    if receipts.is_empty() {
+                        continue;
+                    }
+                    let (ra, rb) = receipts[i % receipts.len()];
+                    let dd = SimDuration::from_secs(d);
+                    prop_assert_eq!(
+                        new_q.change_visibility(ra, t, dd).is_ok(),
+                        old_q.change_visibility(rb, t, dd).is_ok(),
+                        "change_visibility outcome diverged"
+                    );
+                }
+                Op::ForceVisible(i) => {
+                    if receipts.is_empty() {
+                        continue;
+                    }
+                    let (ra, rb) = receipts[i % receipts.len()];
+                    prop_assert_eq!(
+                        new_q.force_visible(ra).is_ok(),
+                        old_q.force_visible(rb).is_ok(),
+                        "force_visible outcome diverged"
+                    );
+                    prop_assert_eq!(
+                        new_q.queue_wait(ra),
+                        old_q.queue_wait(rb),
+                        "queue_wait diverged"
+                    );
+                }
+            }
+            let t = SimTime::from_secs(now);
+            prop_assert_eq!(new_q.pending_count(), old_q.pending_count());
+            prop_assert_eq!(new_q.visible_count(t), old_q.visible_count(t));
+            prop_assert_eq!(new_q.in_flight_count(t), old_q.in_flight_count(t));
+            prop_assert_eq!(new_q.dead_letters(), old_q.dead_letters(), "dead-letter order diverged");
+        }
+
+        // Drain both far in the future: the full remaining delivery schedule
+        // (bodies, counts, receipts, dead-letter order) must match to the end.
+        let far = SimTime::from_secs(now + 1e7);
+        loop {
+            let a = new_q.receive(far);
+            let b = old_q.receive(far);
+            prop_assert_eq!(&a, &b, "drain diverged");
+            match a {
+                Some((_, r, _)) => new_q.delete(r).unwrap(),
+                None => break,
+            }
+            if let Some((_, r, _)) = b {
+                old_q.delete(r).unwrap();
+            }
+        }
+        prop_assert_eq!(new_q.dead_letters(), old_q.dead_letters());
+        prop_assert_eq!(new_q.pending_count(), 0);
+        prop_assert_eq!(old_q.pending_count(), 0);
+    }
 }
