@@ -34,7 +34,10 @@ pub fn run_differential(
     accessions: &[String],
 ) -> Result<EngineComparison, AtlasError> {
     let mut legacy_cfg = config.clone();
-    legacy_cfg.engine = CampaignEngine::LegacyTick;
+    #[allow(deprecated)]
+    {
+        legacy_cfg.engine = CampaignEngine::LegacyTick;
+    }
     let mut kernel_cfg = config.clone();
     kernel_cfg.engine = CampaignEngine::EventKernel;
     let legacy = Orchestrator::with_workload(Arc::clone(&workload), legacy_cfg)?.run(accessions)?;

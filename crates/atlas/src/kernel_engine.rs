@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::early_stop::SavingsSummary;
+use crate::ledger::{build_ledger, CompletedAccession, SloReport};
 use crate::orchestrator::{
     build_normalized, emit_job_spans, emit_progress_events, CampaignConfig, CampaignReport, Event,
     FleetSample,
@@ -87,14 +88,34 @@ pub(crate) fn run_campaign(
     let recorder = Arc::new(if cfg.telemetry { Recorder::new() } else { Recorder::disabled() });
     injector.attach_recorder(Arc::clone(&recorder));
     asg.attach_recorder(Arc::clone(&recorder));
+    // ——— SLO engine state (all observer-side; unused when `cfg.slo` is off) ———
+    let slo_on = cfg.slo.is_some();
+    let slo_alpha = cfg.slo.as_ref().map(|s| s.sketch_alpha).unwrap_or(0.0);
+    // The single pricing point: the same hourly rate the settle-time
+    // `CostTracker` bills at, so sketch samples and ledger dollars agree with
+    // the cost report to the bit.
+    let slo_rate = if cfg.spot {
+        CostTracker::with_spot(cfg.spot_market)
+    } else {
+        CostTracker::on_demand()
+    }
+    .hourly_rate(cfg.instance_type, cfg.spot);
+    let mut slo_queue_waits: BTreeMap<String, f64> = BTreeMap::new();
+    let mut slo_retry_waste: BTreeMap<String, f64> = BTreeMap::new();
+    let mut slo_completed_at: BTreeMap<String, f64> = BTreeMap::new();
     // The monitor watches the stream through the recorder's observer hook;
-    // with telemetry off there is no stream, so no monitor either.
-    let monitor = if cfg.telemetry {
-        cfg.monitor.clone().map(|mc| {
-            let m = Monitor::new(mc);
-            recorder.attach_observer(m.observer());
-            m
-        })
+    // with telemetry off there is no stream, so no monitor either. An SLO
+    // config attaches one even without alert rules: the burn-rate evaluator
+    // *is* a stream observer.
+    let monitor = if cfg.telemetry && (cfg.monitor.is_some() || slo_on) {
+        let mut mc = cfg.monitor.clone().unwrap_or_default();
+        if let Some(slo) = &cfg.slo {
+            mc.slos = slo.registry.clone();
+            mc.slos.cost_usd_per_hour = slo_rate;
+        }
+        let m = Monitor::new(mc);
+        recorder.attach_observer(m.observer());
+        Some(m)
     } else {
         None
     };
@@ -304,6 +325,14 @@ pub(crate) fn run_campaign(
                                 ],
                             );
                             recorder.observe("queue_wait_secs", SECS_BUCKETS, wait.as_secs());
+                            if slo_on {
+                                recorder.sketch_observe(
+                                    "slo_queue_wait_secs",
+                                    slo_alpha,
+                                    wait.as_secs(),
+                                );
+                                slo_queue_waits.insert(accession.clone(), wait.as_secs());
+                            }
                         }
                         if results.contains_key(&accession) {
                             // A duplicate delivery of already-finished work:
@@ -486,6 +515,23 @@ pub(crate) fn run_campaign(
                                     result.mapping_rate,
                                 );
                             }
+                            if slo_on {
+                                // Campaigns submit everything at t=0, so the
+                                // completion instant *is* the turnaround; the
+                                // cost sample prices the successful attempt at
+                                // the settle-time hourly rate.
+                                recorder.sketch_observe(
+                                    "slo_turnaround_secs",
+                                    slo_alpha,
+                                    now.as_secs(),
+                                );
+                                recorder.sketch_observe(
+                                    "slo_cost_per_accession_usd",
+                                    slo_alpha,
+                                    duration * slo_rate / 3600.0,
+                                );
+                                slo_completed_at.insert(accession.clone(), now.as_secs());
+                            }
                             // Completing an accession that had already been
                             // dead-lettered re-resolves it as completed.
                             dl_only.remove(&accession);
@@ -504,6 +550,10 @@ pub(crate) fn run_campaign(
                             );
                             duplicate_completions += 1;
                             wasted_secs += duration;
+                            if slo_on {
+                                *slo_retry_waste.entry(accession.clone()).or_insert(0.0) +=
+                                    duration;
+                            }
                         }
                         events.schedule(now + d + deleted.backoff, Event::Poll(instance));
                     }
@@ -530,6 +580,9 @@ pub(crate) fn run_campaign(
                             ],
                         );
                         wasted_secs += duration;
+                        if slo_on {
+                            *slo_retry_waste.entry(accession.clone()).or_insert(0.0) += duration;
+                        }
                         events.schedule(now + cfg.poll_interval, Event::Poll(instance));
                     }
                 }
@@ -560,6 +613,9 @@ pub(crate) fn run_campaign(
                         ],
                     );
                     wasted_secs += w;
+                    if slo_on {
+                        *slo_retry_waste.entry(accession.clone()).or_insert(0.0) += w;
+                    }
                     events.schedule(now + cfg.poll_interval, Event::Poll(instance));
                 }
             }
@@ -656,6 +712,47 @@ pub(crate) fn run_campaign(
             attrs.iter().map(|(k, v)| (*k, JsonValue::from(v.as_str()))).collect(),
         );
     }
+    // SLO settlement: budget-remaining and ledger-rollup gauges land in the
+    // metrics snapshot (and from there in the OpenMetrics dump), and the
+    // attribution ledger decomposes each completed accession's turnaround and
+    // dollars. Pure observer: everything here is computed from quantities the
+    // engine already tracked.
+    let slo_report = if slo_on {
+        let objectives = monitor.as_ref().map(|m| m.slo_status()).unwrap_or_default();
+        for s in &objectives {
+            recorder.gauge_set_at(
+                end.as_secs(),
+                &format!("slo_budget_remaining:{}", s.id),
+                s.budget_remaining,
+            );
+        }
+        let inputs: Vec<CompletedAccession> = completion_order
+            .iter()
+            .map(|a| CompletedAccession {
+                accession: a.clone(),
+                queue_wait_secs: slo_queue_waits.get(a).copied().unwrap_or(0.0),
+                stage_secs: results.get(a).expect("recorded").stage_secs,
+                ended_secs: slo_completed_at.get(a).copied().unwrap_or(end.as_secs()),
+                retry_waste_secs: slo_retry_waste.get(a).copied().unwrap_or(0.0),
+            })
+            .collect();
+        let (ledger, totals) = build_ledger(&inputs, slo_rate, cost.report().total_usd);
+        recorder.gauge_set_at(end.as_secs(), "slo_ledger_compute_usd", totals.compute_usd);
+        recorder.gauge_set_at(end.as_secs(), "slo_ledger_retry_usd", totals.retry_usd);
+        recorder.gauge_set_at(
+            end.as_secs(),
+            "slo_ledger_idle_amortized_usd",
+            totals.idle_amortized_usd,
+        );
+        recorder.gauge_set_at(
+            end.as_secs(),
+            "slo_ledger_retry_waste_secs",
+            totals.retry_waste_secs,
+        );
+        Some(SloReport { objectives, ledger, totals })
+    } else {
+        None
+    };
     recorder.span_end(campaign_span, end.as_secs());
     let campaign_telemetry = cfg.telemetry.then(|| telemetry::summarize(&recorder));
 
@@ -679,5 +776,6 @@ pub(crate) fn run_campaign(
         telemetry: campaign_telemetry,
         alerts: monitor.map(|m| m.alerts()).unwrap_or_default(),
         sim_events: n_events,
+        slo: slo_report,
     })
 }

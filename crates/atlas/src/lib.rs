@@ -27,6 +27,7 @@ pub mod early_stop;
 pub mod error;
 pub mod experiments;
 mod kernel_engine;
+pub mod ledger;
 pub mod orchestrator;
 pub mod pipeline;
 pub mod report;
@@ -36,6 +37,7 @@ pub mod workload;
 pub use differential::{run_differential, EngineComparison};
 pub use early_stop::{EarlyStopAccounting, EarlyStopPolicy};
 pub use error::AtlasError;
+pub use ledger::{AccessionLedgerEntry, LedgerTotals, SloReport};
 pub use orchestrator::{CampaignConfig, CampaignEngine, CampaignReport, Orchestrator};
 pub use pipeline::{AtlasPipeline, PipelineConfig, PipelineResult, StageTimes};
 pub use right_size::RightSizer;

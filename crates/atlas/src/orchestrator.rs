@@ -40,6 +40,7 @@ use cloudsim::faults::{FaultInjector, FaultOp, FaultPlan};
 use cloudsim::instance::{InstanceId, InstanceState, InstanceType};
 use cloudsim::metrics::FaultCounters;
 use cloudsim::retry::RetryPolicy;
+#[allow(deprecated)]
 use cloudsim::sqs::legacy::LegacySqsQueue;
 use cloudsim::sqs::ReceiptHandle;
 use cloudsim::{EventQueue, ObjectStore, ScalingPolicy, SimDuration, SimTime, SpotMarket};
@@ -62,6 +63,10 @@ pub enum CampaignEngine {
     /// The original loop: same event semantics, but with O(n) bookkeeping scans
     /// (queue reconciliation, resolved-recount) per event. Kept as the
     /// differential oracle; deprecated for anything beyond test-scale.
+    #[deprecated(
+        note = "differential oracle only — use `CampaignEngine::EventKernel`; scheduled for \
+                deletion once the event kernel has soaked (ROADMAP item 1)"
+    )]
     LegacyTick,
 }
 
@@ -109,6 +114,14 @@ pub struct CampaignConfig {
     /// with it on or off, but enabling it adds `progress` and `alert` events to
     /// the log.
     pub monitor: Option<MonitorConfig>,
+    /// Declarative SLOs ([`telemetry::slo`]) evaluated live over the telemetry
+    /// stream — streaming quantile sketches, multi-window burn-rate alerting —
+    /// plus the per-accession cost/latency attribution ledger
+    /// ([`crate::ledger`]). `None` = SLO engine off. Requires `telemetry` and
+    /// the event kernel; like the monitor it is strictly an observer — the
+    /// summary digest and the stripped event log are byte-identical with it on
+    /// or off.
+    pub slo: Option<telemetry::SloConfig>,
     /// Simulation engine (default: the discrete-event kernel).
     pub engine: CampaignEngine,
 }
@@ -134,6 +147,7 @@ impl CampaignConfig {
             max_receive_count: None,
             telemetry: true,
             monitor: None,
+            slo: None,
             engine: CampaignEngine::default(),
         }
     }
@@ -160,6 +174,25 @@ impl CampaignConfig {
         self.retry.validate().map_err(AtlasError::Cloud)?;
         if self.max_receive_count == Some(0) {
             return Err(AtlasError::InvalidParams("max_receive_count must be >= 1".into()));
+        }
+        if let Some(slo) = &self.slo {
+            slo.registry.validate().map_err(AtlasError::InvalidParams)?;
+            if !(slo.sketch_alpha > 0.0 && slo.sketch_alpha < 1.0) {
+                return Err(AtlasError::InvalidParams(
+                    "slo.sketch_alpha must be in (0, 1)".into(),
+                ));
+            }
+            if !self.telemetry {
+                return Err(AtlasError::InvalidParams(
+                    "slo requires telemetry (the SLO engine observes the telemetry stream)".into(),
+                ));
+            }
+            #[allow(deprecated)]
+            if self.engine == CampaignEngine::LegacyTick {
+                return Err(AtlasError::InvalidParams(
+                    "slo requires the event kernel (the legacy oracle is frozen)".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -233,6 +266,10 @@ pub struct CampaignReport {
     /// for the same campaign (the differential harness checks it); excluded from
     /// the digest because it describes the simulator, not the outcome.
     pub sim_events: u64,
+    /// SLO attainment and the per-accession attribution ledger (`None` when
+    /// [`CampaignConfig::slo`] is off). Excluded from
+    /// [`CampaignReport::summary_digest`] like the rest of the telemetry.
+    pub slo: Option<crate::ledger::SloReport>,
 }
 
 impl CampaignReport {
@@ -330,6 +367,7 @@ impl Orchestrator {
             CampaignEngine::EventKernel => {
                 crate::kernel_engine::run_campaign(&self.workload, &self.config, accessions)
             }
+            #[allow(deprecated)]
             CampaignEngine::LegacyTick => self.run_legacy(accessions),
         }
     }
@@ -338,6 +376,7 @@ impl Orchestrator {
     /// ([`LegacySqsQueue`], per-event resolved recount). Frozen as the
     /// differential oracle — behavior changes belong in the kernel engine and
     /// must keep the two byte-identical.
+    #[allow(deprecated)]
     fn run_legacy(&self, accessions: &[String]) -> Result<CampaignReport, AtlasError> {
         let cfg = &self.config;
         let mut events: EventQueue<Event> = EventQueue::new();
@@ -942,6 +981,9 @@ impl Orchestrator {
             telemetry: campaign_telemetry,
             alerts: monitor.map(|m| m.alerts()).unwrap_or_default(),
             sim_events: n_events,
+            // The SLO engine requires the event kernel (validated); the frozen
+            // oracle never carries one.
+            slo: None,
         })
     }
 }

@@ -232,6 +232,43 @@ pub fn render_campaign(r: &CampaignReport, instance: &str) -> String {
             );
         }
     }
+    if let Some(slo) = &r.slo {
+        let _ = writeln!(out, "service-level objectives:");
+        for o in &slo.objectives {
+            let _ = writeln!(
+                out,
+                "  {:<28} target {:>5.1}% attained {:>6.2}% ({}/{} bad, budget {:>6.1}%, {} burn alerts)",
+                o.id,
+                o.target * 100.0,
+                o.attained * 100.0,
+                o.bad,
+                o.total,
+                o.budget_remaining * 100.0,
+                o.burn_alerts
+            );
+        }
+        let t = &slo.totals;
+        let _ = writeln!(
+            out,
+            "attribution ledger:   {} accessions, turnaround sum {:.1}s, ${:.2} attributed",
+            t.accessions, t.turnaround_secs, t.cost_usd
+        );
+        let _ = writeln!(
+            out,
+            "  latency parts:      queue {:.1}s, download {:.1}s, align {:.1}s, collect {:.1}s, retry {:.1}s, idle {:.1}s",
+            t.queue_wait_secs,
+            t.download_secs,
+            t.align_secs,
+            t.collect_secs,
+            t.retry_waste_secs,
+            t.idle_gap_secs
+        );
+        let _ = writeln!(
+            out,
+            "  cost parts:         compute ${:.2}, retry ${:.2}, idle-amortized ${:.2}",
+            t.compute_usd, t.retry_usd, t.idle_amortized_usd
+        );
+    }
     out
 }
 

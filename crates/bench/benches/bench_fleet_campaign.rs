@@ -87,9 +87,10 @@ fn bench_fleet(c: &mut Criterion) {
     let n_small = 1_000usize;
     let small_ids = ModeledWorkload::accessions(n_small);
     group.throughput(Throughput::Elements(n_small as u64));
-    for (name, engine) in
-        [("kernel_1k_x128", CampaignEngine::EventKernel), ("legacy_1k_x128", CampaignEngine::LegacyTick)]
-    {
+    #[allow(deprecated)]
+    let engines =
+        [("kernel_1k_x128", CampaignEngine::EventKernel), ("legacy_1k_x128", CampaignEngine::LegacyTick)];
+    for (name, engine) in engines {
         let cfg = fleet_config(engine, 128);
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {

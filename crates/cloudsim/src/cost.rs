@@ -58,18 +58,27 @@ impl CostTracker {
         CostTracker { spot: Some(market), report: CostReport::default() }
     }
 
+    /// The effective hourly USD rate this tracker bills `itype` at: the spot
+    /// market price when `spot` and a market is configured, the on-demand price
+    /// otherwise. The single pricing point shared by [`Self::charge`],
+    /// [`Self::attribute_waste`], and the per-accession attribution ledger —
+    /// every dollar in a campaign report is this rate times some seconds.
+    pub fn hourly_rate(&self, itype: &crate::instance::InstanceType, spot: bool) -> f64 {
+        if spot {
+            match &self.spot {
+                Some(m) => m.hourly_price(itype.on_demand_hourly_usd),
+                None => itype.on_demand_hourly_usd,
+            }
+        } else {
+            itype.on_demand_hourly_usd
+        }
+    }
+
     /// Charge one instance's lifetime as of `now` (terminated instances are charged
     /// to their termination time).
     pub fn charge(&mut self, instance: &Instance, now: SimTime) {
         let secs = instance.billable_secs(now);
-        let hourly = if instance.spot {
-            match &self.spot {
-                Some(m) => m.hourly_price(instance.itype.on_demand_hourly_usd),
-                None => instance.itype.on_demand_hourly_usd,
-            }
-        } else {
-            instance.itype.on_demand_hourly_usd
-        };
+        let hourly = self.hourly_rate(instance.itype, instance.spot);
         let usd = hourly * secs / 3600.0;
         let hours = secs / 3600.0;
         *self.report.by_type.entry(instance.itype.name.to_string()).or_default() += usd;
@@ -83,14 +92,7 @@ impl CostTracker {
     /// add to the totals — the instance time is already charged by [`Self::charge`];
     /// it labels a slice of it.
     pub fn attribute_waste(&mut self, itype: &crate::instance::InstanceType, spot: bool, secs: f64) {
-        let hourly = if spot {
-            match &self.spot {
-                Some(m) => m.hourly_price(itype.on_demand_hourly_usd),
-                None => itype.on_demand_hourly_usd,
-            }
-        } else {
-            itype.on_demand_hourly_usd
-        };
+        let hourly = self.hourly_rate(itype, spot);
         self.report.wasted_hours += secs / 3600.0;
         self.report.wasted_usd += hourly * secs / 3600.0;
     }
@@ -159,6 +161,18 @@ mod tests {
         assert!((r.wasted_usd - 0.5 * 1.0896 * 0.5).abs() < 1e-9);
         assert!((r.total_usd - 2.0 * 0.5 * 1.0896).abs() < 1e-9, "totals unchanged by waste");
         assert!((r.wasted_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hourly_rate_is_the_single_pricing_point() {
+        let t = InstanceType::by_name("r6a.4xlarge").unwrap();
+        let od = CostTracker::on_demand();
+        assert_eq!(od.hourly_rate(t, false), t.on_demand_hourly_usd);
+        assert_eq!(od.hourly_rate(t, true), t.on_demand_hourly_usd, "no market: on-demand");
+        let market = SpotMarket { price_factor: 0.3, ..SpotMarket::default() };
+        let sp = CostTracker::with_spot(market);
+        assert!((sp.hourly_rate(t, true) - 0.3 * t.on_demand_hourly_usd).abs() < 1e-12);
+        assert_eq!(sp.hourly_rate(t, false), t.on_demand_hourly_usd);
     }
 
     #[test]

@@ -260,7 +260,7 @@ impl FaultInjector {
     /// Emit a structured event at the injector's current sim time (no-op without an
     /// attached recorder). Service models (S3, SQS wrappers) reuse this so their
     /// events share the injector's clock.
-    pub fn emit(&self, kind: &str, fields: Vec<(&str, JsonValue)>) {
+    pub fn emit(&self, kind: &'static str, fields: Vec<(&'static str, JsonValue)>) {
         if let Some(rec) = &self.recorder {
             rec.event(self.now_secs, kind, fields);
         }

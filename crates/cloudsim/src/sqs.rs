@@ -342,6 +342,7 @@ pub mod legacy {
     //! differential property tests that pin [`super::SqsQueue`]'s semantics. It
     //! will be deleted together with the legacy loop once the discrete-event
     //! kernel is the sole engine.
+    #![allow(deprecated)] // the oracle may use itself without tripping its own notice
 
     use crate::time::{SimDuration, SimTime};
     use crate::CloudError;
@@ -362,6 +363,10 @@ pub mod legacy {
 
     /// The scan-based queue (see the module docs). API-identical to
     /// [`super::SqsQueue`].
+    #[deprecated(
+        note = "differential oracle only — use `cloudsim::SqsQueue`; scheduled for \
+                deletion once the event kernel has soaked (ROADMAP item 1)"
+    )]
     #[derive(Debug)]
     pub struct LegacySqsQueue<M> {
         messages: Vec<StoredMessage<M>>,

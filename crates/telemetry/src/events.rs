@@ -8,23 +8,44 @@
 use crate::json::JsonValue;
 
 /// One structured event.
+///
+/// Kinds and field names are schema constants (`&'static str`), not data: every
+/// emitter names them with literals, and the hot path (progress streaming emits
+/// thousands of records per campaign) must not allocate a `String` per key.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EventRecord {
     /// Simulated seconds since campaign start.
     pub at_secs: f64,
     /// Event kind, snake_case (`fault_injected`, `retry`, `spot_interruption`, ...).
-    pub kind: String,
+    pub kind: &'static str,
     /// Kind-specific fields, serialized in this order.
-    pub fields: Vec<(String, JsonValue)>,
+    pub fields: Vec<(&'static str, JsonValue)>,
 }
 
 impl EventRecord {
     /// Serialize as one NDJSON line (no trailing newline).
     pub fn ndjson_line(&self) -> String {
-        let mut fields =
-            vec![("t".to_string(), JsonValue::from(self.at_secs)), ("kind".to_string(), JsonValue::from(self.kind.as_str()))];
-        fields.extend(self.fields.iter().cloned());
-        JsonValue::Obj(fields).render()
+        let mut out = String::new();
+        self.write_ndjson_into(&mut out);
+        out
+    }
+
+    /// Stream the NDJSON line into `out` (no trailing newline). Campaign logs
+    /// run to thousands of lines; writing bytes directly — instead of building
+    /// a `JsonValue` object per line — keeps the export cheap enough for the
+    /// observer-overhead budget.
+    pub fn write_ndjson_into(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        crate::json::write_f64(self.at_secs, out);
+        out.push_str(",\"kind\":");
+        crate::json::escape_into(self.kind, out);
+        for (k, v) in &self.fields {
+            out.push(',');
+            crate::json::escape_into(k, out);
+            out.push(':');
+            v.write_into(out);
+        }
+        out.push('}');
     }
 }
 
@@ -38,8 +59,8 @@ mod tests {
             at_secs: 12.5,
             kind: "retry".into(),
             fields: vec![
-                ("op".to_string(), JsonValue::from("s3_get")),
-                ("attempt".to_string(), JsonValue::from(2u64)),
+                ("op", JsonValue::from("s3_get")),
+                ("attempt", JsonValue::from(2u64)),
             ],
         };
         assert_eq!(e.ndjson_line(), "{\"t\":12.5,\"kind\":\"retry\",\"op\":\"s3_get\",\"attempt\":2}");

@@ -11,7 +11,7 @@
 //! as goldens.
 
 use crate::events::EventRecord;
-use crate::json::{fmt_f64, JsonValue};
+use crate::json::{escape_into, fmt_f64, JsonValue};
 use crate::metrics::MetricsRegistry;
 use crate::recorder::Recorder;
 use crate::span::SpanRecord;
@@ -59,7 +59,24 @@ fn span_pids(spans: &[SpanRecord]) -> Vec<u64> {
 ///   instance's process when it names one, global otherwise.
 pub fn perfetto_trace(spans: &[SpanRecord], events: &[EventRecord]) -> String {
     let pids = span_pids(spans);
-    let mut trace_events: Vec<JsonValue> = Vec::new();
+    // Streamed straight into the output buffer: a campaign renders hundreds of
+    // KB of trace JSON inside `summarize`, and materializing the equivalent
+    // `JsonValue` tree first costs an allocation per key — enough to blow the
+    // observer-overhead budget the `bench_compare --overhead` gates enforce.
+    // Bytes are identical to what the tree render produced: strings go through
+    // `escape_into`, field values through `JsonValue::write_into`.
+    let mut out = String::with_capacity(176 * (spans.len() + events.len()) + 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    macro_rules! sep {
+        () => {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+        };
+    }
 
     // Process metadata: pid 0 is the campaign; instance pids label themselves,
     // in first-seen (emission) order.
@@ -70,62 +87,96 @@ pub fn perfetto_trace(spans: &[SpanRecord], events: &[EventRecord]) -> String {
         }
     }
     for &pid in &seen {
-        let name =
-            if pid == 0 { "campaign".to_string() } else { format!("instance {pid}") };
-        trace_events.push(JsonValue::obj(vec![
-            ("name", JsonValue::from("process_name")),
-            ("ph", JsonValue::from("M")),
-            ("pid", JsonValue::from(pid)),
-            ("tid", JsonValue::from(0u64)),
-            ("args", JsonValue::obj(vec![("name", JsonValue::from(name))])),
-        ]));
+        sep!();
+        let _ = write!(out, "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":");
+        if pid == 0 {
+            out.push_str("\"campaign\"");
+        } else {
+            let _ = write!(out, "\"instance {pid}\"");
+        }
+        out.push_str("}}");
     }
 
     for (i, s) in spans.iter().enumerate() {
-        let args = JsonValue::Obj(
-            s.attrs.iter().map(|(k, v)| (k.clone(), JsonValue::from(v.as_str()))).collect(),
+        sep!();
+        out.push_str("{\"name\":");
+        escape_into(&s.name, &mut out);
+        let _ = write!(
+            out,
+            ",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0,\"args\":{{",
+            micros(s.start_secs),
+            micros(s.duration_secs()),
+            pids[i]
         );
-        trace_events.push(JsonValue::obj(vec![
-            ("name", JsonValue::from(s.name.as_str())),
-            ("cat", JsonValue::from("sim")),
-            ("ph", JsonValue::from("X")),
-            ("ts", JsonValue::Int(micros(s.start_secs))),
-            ("dur", JsonValue::Int(micros(s.duration_secs()))),
-            ("pid", JsonValue::from(pids[i])),
-            ("tid", JsonValue::from(0u64)),
-            ("args", args),
-        ]));
+        for (j, (k, v)) in s.attrs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            escape_into(k, &mut out);
+            out.push(':');
+            escape_into(v, &mut out);
+        }
+        out.push_str("}}");
     }
 
     for e in events {
+        sep!();
+        // SLO budget samples render as counter (`"ph":"C"`) events — one counter
+        // track per objective showing the remaining error budget over time.
+        if e.kind == "slo_budget" {
+            let slo = e
+                .fields
+                .iter()
+                .find(|(k, _)| *k == "slo")
+                .map(|(_, v)| match v {
+                    JsonValue::Str(s) => s.clone(),
+                    other => other.render(),
+                })
+                .unwrap_or_default();
+            out.push_str("{\"name\":");
+            escape_into(&format!("slo_budget:{slo}"), &mut out);
+            let _ = write!(
+                out,
+                ",\"cat\":\"slo\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"remaining\":",
+                micros(e.at_secs)
+            );
+            match e.fields.iter().find(|(k, _)| *k == "remaining") {
+                Some((_, v)) => v.write_into(&mut out),
+                None => out.push('0'),
+            }
+            out.push_str("}}");
+            continue;
+        }
         let pid = e
             .fields
             .iter()
-            .find(|(k, _)| k == "instance")
+            .find(|(k, _)| *k == "instance")
             .and_then(|(_, v)| match v {
                 JsonValue::UInt(n) => Some(*n),
                 JsonValue::Int(n) if *n >= 0 => Some(*n as u64),
                 _ => None,
             });
-        let args = JsonValue::Obj(e.fields.clone());
-        trace_events.push(JsonValue::obj(vec![
-            ("name", JsonValue::from(e.kind.as_str())),
-            ("cat", JsonValue::from("event")),
-            ("ph", JsonValue::from("i")),
-            ("ts", JsonValue::Int(micros(e.at_secs))),
-            ("s", JsonValue::from(if pid.is_some() { "p" } else { "g" })),
-            ("pid", JsonValue::from(pid.unwrap_or(0))),
-            ("tid", JsonValue::from(0u64)),
-            ("args", args),
-        ]));
+        out.push_str("{\"name\":");
+        escape_into(e.kind, &mut out);
+        let _ = write!(
+            out,
+            ",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"s\":\"{}\",\"pid\":{},\"tid\":0,\"args\":{{",
+            micros(e.at_secs),
+            if pid.is_some() { "p" } else { "g" },
+            pid.unwrap_or(0)
+        );
+        for (j, (k, v)) in e.fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            escape_into(k, &mut out);
+            out.push(':');
+            v.write_into(&mut out);
+        }
+        out.push_str("}}");
     }
 
-    let mut out = JsonValue::obj(vec![
-        ("traceEvents", JsonValue::Arr(trace_events)),
-        ("displayTimeUnit", JsonValue::from("ms")),
-    ])
-    .render();
-    out.push('\n');
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
     out
 }
 
@@ -160,6 +211,15 @@ pub fn openmetrics(metrics: &MetricsRegistry) -> String {
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
         let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum()));
         let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+    for (name, s) in metrics.sketches() {
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let _ = writeln!(out, "{name}{{quantile=\"{}\"}} {}", fmt_f64(q), fmt_f64(s.quantile(q)));
+        }
+        // No `_sum`: the sketch deliberately tracks none (see `sketch` docs) —
+        // float addition would break its byte-associative merge.
+        let _ = writeln!(out, "{name}_count {}", s.count());
     }
     out.push_str("# EOF\n");
     out
@@ -298,6 +358,41 @@ mod tests {
     #[test]
     fn openmetrics_on_empty_registry_is_just_eof() {
         assert_eq!(openmetrics(&MetricsRegistry::new()), "# EOF\n");
+    }
+
+    #[test]
+    fn openmetrics_renders_sketches_as_summaries() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..10 {
+            m.sketch_observe("slo_turnaround_secs", 0.01, 100.0);
+        }
+        let text = openmetrics(&m);
+        let expected = "# TYPE slo_turnaround_secs summary\n\
+                        slo_turnaround_secs{quantile=\"0.5\"} 100\n\
+                        slo_turnaround_secs{quantile=\"0.9\"} 100\n\
+                        slo_turnaround_secs{quantile=\"0.95\"} 100\n\
+                        slo_turnaround_secs{quantile=\"0.99\"} 100\n\
+                        slo_turnaround_secs_count 10\n\
+                        # EOF\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn slo_budget_events_become_counter_tracks() {
+        let r = Recorder::new();
+        r.event(
+            10.0,
+            "slo_budget",
+            vec![("slo", JsonValue::from("queue_wait_p99")), ("remaining", JsonValue::from(0.75))],
+        );
+        let trace = perfetto_trace_from(&r);
+        assert!(
+            trace.contains(
+                "{\"name\":\"slo_budget:queue_wait_p99\",\"cat\":\"slo\",\"ph\":\"C\",\
+                 \"ts\":10000000,\"pid\":0,\"tid\":0,\"args\":{\"remaining\":0.75}}"
+            ),
+            "{trace}"
+        );
     }
 
     #[test]

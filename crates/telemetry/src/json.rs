@@ -173,7 +173,7 @@ pub fn fmt_f64(v: f64) -> String {
 }
 
 /// Write `s` as a quoted JSON string with the mandatory escapes.
-fn escape_into(s: &str, out: &mut String) {
+pub(crate) fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

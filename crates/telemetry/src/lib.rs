@@ -37,6 +37,8 @@ pub mod monitor;
 pub mod recorder;
 pub mod report;
 pub mod series;
+pub mod sketch;
+pub mod slo;
 pub mod span;
 
 pub use events::EventRecord;
@@ -47,12 +49,17 @@ pub use monitor::{AlertEvent, AlertRule, Cmp, Condition, Guard, Monitor, Monitor
 pub use recorder::{Recorder, StreamObserver};
 pub use report::{summarize, AccessionPath, CampaignTelemetry, CriticalPath, StageStats};
 pub use series::TimeSeries;
+pub use sketch::QuantileSketch;
+pub use slo::{BurnRateRule, Slo, SloConfig, SloRegistry, SloSignal, SloStatus};
 pub use span::{SpanId, SpanRecord};
 
 /// Version stamped into every serialized telemetry document. Bump it (and the
 /// golden under `golden/telemetry_schema.json`) when the schema changes shape.
 /// v2: `alert` events, Perfetto/OpenMetrics export shapes.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: quantile sketches in the metrics registry, `slo_burn` alerts,
+/// `slo_budget`/`slo_clear` events, OpenMetrics summary lines, Perfetto counter
+/// tracks for budget gauges.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The stable JSON schema of everything this crate serializes, as a JSON document.
 ///
@@ -112,6 +119,55 @@ pub fn schema_json() -> String {
                         field("max", "f64"),
                     ]),
                 ),
+                (
+                    "sketches".into(),
+                    obj(vec![
+                        field("alpha", "f64 — relative error bound, fixed at creation"),
+                        field("count", "u64"),
+                        field("zero_count", "u64 — observations below 1e-9"),
+                        field(
+                            "buckets",
+                            "object — log-bucket key (ceil(ln v / ln γ)) -> u64 count, \
+                             keys sorted numerically; pure function of the observation \
+                             multiset (merge = pointwise add)",
+                        ),
+                        field("min", "f64"),
+                        field("max", "f64"),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "slo_events".into(),
+            obj(vec![
+                field(
+                    "slo_burn",
+                    "alert_event with rule \"slo_burn\", subject \"<slo id>:<long window>s\", \
+                     value = short-window burn rate, threshold = burn factor",
+                ),
+                (
+                    "slo_budget".into(),
+                    obj(vec![
+                        field("t", "f64"),
+                        field("kind", "\"slo_budget\""),
+                        field("slo", "string — objective id"),
+                        field(
+                            "remaining",
+                            "f64 — error budget left: 1 - (bad/total)/(1-target); emitted \
+                             on integer-percent changes, rendered as a Perfetto counter track",
+                        ),
+                    ]),
+                ),
+                (
+                    "slo_clear".into(),
+                    obj(vec![
+                        field("t", "f64"),
+                        field("kind", "\"slo_clear\""),
+                        field("slo", "string — objective id"),
+                        field("window_secs", "f64 — long window of the clearing rule"),
+                        field("burn", "f64 — short-window burn at clearing"),
+                    ]),
+                ),
             ]),
         ),
         (
@@ -134,7 +190,13 @@ pub fn schema_json() -> String {
                 field(
                     "histograms",
                     "cumulative `<name>_bucket{le=\"...\"}` lines, `+Inf`, `_sum`, \
-                     `_count`; terminated by `# EOF`",
+                     `_count`",
+                ),
+                field(
+                    "summaries",
+                    "per sketch: `# TYPE <name> summary` + `<name>{quantile=\"0.5|0.9|\
+                     0.95|0.99\"}` lines + `<name>_count` (sketches carry no sum); \
+                     terminated by `# EOF`",
                 ),
             ]),
         ),

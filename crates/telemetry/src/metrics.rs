@@ -8,6 +8,7 @@
 //! observation multiset.
 
 use crate::json::JsonValue;
+use crate::sketch::QuantileSketch;
 use std::collections::BTreeMap;
 
 /// Default bucket bounds for duration-valued histograms, in seconds. Spans the
@@ -104,7 +105,14 @@ impl Histogram {
     }
 
     /// Estimated quantile `q` in `[0, 1]`: linear interpolation inside the covering
-    /// bucket, clamped to the observed `[min, max]`. Returns 0 when empty.
+    /// bucket, clamped to the observed `[min, max]`.
+    ///
+    /// **Empty-histogram contract (define, not assert):** with zero observations
+    /// every quantile is 0.0, matching [`Histogram::min`]/[`Histogram::max`] and
+    /// [`crate::sketch::QuantileSketch::quantile`]. Callers that must distinguish
+    /// "no data" from "all zeros" check [`Histogram::count`] first; report
+    /// renderers rely on the total-function behavior to stay panic-free on
+    /// campaigns where a stage never ran.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
         if self.count == 0 {
@@ -141,6 +149,25 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Merge another histogram into this one (parity with
+    /// [`QuantileSketch::merge`]). Both must have identical bucket bounds;
+    /// mismatched bounds panic — silently re-bucketing would corrupt quantiles.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bounds == other.bounds,
+            "cannot merge histograms with different bounds ({:?} vs {:?})",
+            self.bounds,
+            other.bounds
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Serialize to the stable JSON shape (`bounds`, `counts`, `count`, `sum`,
     /// `min`, `max`).
     pub fn to_json(&self) -> JsonValue {
@@ -164,6 +191,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl MetricsRegistry {
@@ -186,6 +214,16 @@ impl MetricsRegistry {
     /// Later calls ignore `bounds` — a histogram's buckets are fixed at creation.
     pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
         self.histograms.entry(name.to_string()).or_insert_with(|| Histogram::new(bounds)).observe(v);
+    }
+
+    /// Record `v` into quantile sketch `name`, creating it with relative error
+    /// bound `alpha` on first touch. Later calls ignore `alpha` — a sketch's
+    /// resolution is fixed at creation, like histogram bounds.
+    pub fn sketch_observe(&mut self, name: &str, alpha: f64, v: f64) {
+        self.sketches
+            .entry(name.to_string())
+            .or_insert_with(|| QuantileSketch::new(alpha))
+            .observe(v);
     }
 
     /// Counter value (0 when absent).
@@ -218,6 +256,16 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Quantile sketch by name, if any observation landed in it.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches.get(name)
+    }
+
+    /// All quantile sketches in sorted-name order.
+    pub fn sketches(&self) -> impl Iterator<Item = (&str, &QuantileSketch)> {
+        self.sketches.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Serialize the whole registry to the stable JSON shape.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj(vec![
@@ -237,6 +285,12 @@ impl MetricsRegistry {
                 "histograms",
                 JsonValue::Obj(
                     self.histograms.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+                ),
+            ),
+            (
+                "sketches",
+                JsonValue::Obj(
+                    self.sketches.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
                 ),
             ),
         ])
@@ -279,6 +333,43 @@ mod tests {
         assert_eq!(h.p50(), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
+    }
+
+    /// The empty-quantile edge is *defined*, not asserted: every quantile of an
+    /// empty histogram is 0.0 — the whole `[0, 1]` domain, not just p50.
+    #[test]
+    fn empty_histogram_quantile_is_total_and_zero() {
+        let h = Histogram::new(SECS_BUCKETS);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty quantile({q}) must be 0.0");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let mut a = Histogram::new(&[1.0, 2.0, 4.0]);
+        let mut b = Histogram::new(&[1.0, 2.0, 4.0]);
+        let mut whole = Histogram::new(&[1.0, 2.0, 4.0]);
+        for (i, v) in [0.5, 1.5, 1.5, 3.0, 10.0, 0.1].iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v);
+            } else {
+                b.observe(*v);
+            }
+            whole.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.to_json().render(), whole.to_json().render());
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new(&[1.0, 2.0, 4.0]));
+        assert_eq!(a.to_json().render(), whole.to_json().render());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_bounds_mismatch() {
+        let mut a = Histogram::new(&[1.0]);
+        a.merge(&Histogram::new(&[2.0]));
     }
 
     #[test]

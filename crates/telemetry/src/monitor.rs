@@ -28,8 +28,9 @@
 use crate::events::EventRecord;
 use crate::json::JsonValue;
 use crate::recorder::StreamObserver;
+use crate::slo::{Slo, SloRegistry, SloSignal, SloState, SloStatus};
 use crate::span::SpanRecord;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// Comparison direction for thresholds and rates.
@@ -215,6 +216,9 @@ impl AlertRule {
 pub struct MonitorConfig {
     /// Rules, evaluated in order against every stream record.
     pub rules: Vec<AlertRule>,
+    /// Declarative SLOs ([`crate::slo`]) evaluated over the same stream with
+    /// multi-window burn-rate alerting. Empty registry = SLO engine off.
+    pub slos: SloRegistry,
 }
 
 impl MonitorConfig {
@@ -231,6 +235,7 @@ impl MonitorConfig {
                 AlertRule::fault_burst(300.0, 5),
                 AlertRule::early_stop_eligible(0.30, 0.10),
             ],
+            slos: SloRegistry::default(),
         }
     }
 }
@@ -257,13 +262,13 @@ impl AlertEvent {
     pub fn to_event_record(&self) -> EventRecord {
         EventRecord {
             at_secs: self.at_secs,
-            kind: "alert".into(),
+            kind: "alert",
             fields: vec![
-                ("rule".into(), JsonValue::from(self.rule.as_str())),
-                ("subject".into(), JsonValue::from(self.subject.as_str())),
-                ("value".into(), JsonValue::from(self.value)),
-                ("threshold".into(), JsonValue::from(self.threshold)),
-                ("latency_secs".into(), JsonValue::from(self.latency_secs)),
+                ("rule", JsonValue::from(self.rule.as_str())),
+                ("subject", JsonValue::from(self.subject.as_str())),
+                ("value", JsonValue::from(self.value)),
+                ("threshold", JsonValue::from(self.threshold)),
+                ("latency_secs", JsonValue::from(self.latency_secs)),
             ],
         }
     }
@@ -288,6 +293,15 @@ struct MonitorState {
     rules: Vec<AlertRule>,
     states: Vec<RuleState>,
     alerts: Vec<AlertEvent>,
+    /// Objectives under evaluation (empty = SLO engine off).
+    slos: Vec<Slo>,
+    /// Streaming evaluator state, parallel to `slos`.
+    slo_states: Vec<SloState>,
+    /// Hourly rate pricing `SloSignal::AccessionCost` samples.
+    cost_usd_per_hour: f64,
+    /// Accessions already sampled — turnaround/cost sample exactly once per
+    /// accession, at its *first* successful completion.
+    seen_accessions: BTreeSet<String>,
 }
 
 /// The live monitor. Create it, attach [`Monitor::observer`] to a recorder, run
@@ -301,11 +315,16 @@ impl Monitor {
     /// A monitor evaluating `config`'s rules.
     pub fn new(config: MonitorConfig) -> Monitor {
         let states = config.rules.iter().map(|_| RuleState::default()).collect();
+        let slo_states = config.slos.slos.iter().map(SloState::new).collect();
         Monitor {
             state: Arc::new(Mutex::new(MonitorState {
                 rules: config.rules,
                 states,
                 alerts: Vec::new(),
+                slos: config.slos.slos,
+                slo_states,
+                cost_usd_per_hour: config.slos.cost_usd_per_hour,
+                seen_accessions: BTreeSet::new(),
             })),
         }
     }
@@ -321,6 +340,33 @@ impl Monitor {
     pub fn alerts(&self) -> Vec<AlertEvent> {
         self.state.lock().expect("monitor poisoned").alerts.clone()
     }
+
+    /// End-of-stream status of every configured objective, in registry order.
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        let st = self.state.lock().expect("monitor poisoned");
+        st.slos.iter().zip(&st.slo_states).map(|(slo, state)| state.status(slo)).collect()
+    }
+}
+
+/// Route one SLO sample of `signal` through every matching objective; collects
+/// burn alerts into `fired` and clear/budget events into `extra`.
+fn slo_sample(
+    st: &mut MonitorState,
+    signal: SloSignal,
+    t: f64,
+    value: f64,
+    fired: &mut Vec<AlertEvent>,
+    extra: &mut Vec<EventRecord>,
+) {
+    let MonitorState { slos, slo_states, .. } = st;
+    for (slo, state) in slos.iter().zip(slo_states.iter_mut()) {
+        if slo.signal != signal {
+            continue;
+        }
+        let (alerts, events) = state.sample(slo, t, value);
+        fired.extend(alerts);
+        extra.extend(events);
+    }
 }
 
 struct MonitorObserver {
@@ -331,18 +377,27 @@ impl StreamObserver for MonitorObserver {
     fn on_event(&mut self, event: &EventRecord) -> Vec<EventRecord> {
         let mut st = self.state.lock().expect("monitor poisoned");
         let mut fired = Vec::new();
-        for i in 0..st.rules.len() {
-            let rule = st.rules[i].clone();
+        // Split-borrow rules alongside their states: this loop runs for every
+        // record the campaign emits, so it must not clone rule configs.
+        let MonitorState { rules, states, .. } = &mut *st;
+        for (rule, state) in rules.iter().zip(states.iter_mut()) {
             match &rule.signal {
                 Signal::EventField { kind, field } if *kind == event.kind => {
                     if !guard_holds(&rule.guard, |f| event_num(event, f)) {
                         continue;
                     }
                     let Some(value) = event_num(event, field) else { continue };
-                    let subject = subject_of(&rule, |f| event_str(event, f), kind);
-                    let state = &mut st.states[i];
+                    // Threshold rules only need a subject when they fire; skip
+                    // the subject-string allocation on the quiet path (progress
+                    // floods hit this for every snapshot).
+                    if let Condition::Threshold { cmp, value: bound } = rule.condition {
+                        if !cmp.holds(value, bound) {
+                            continue;
+                        }
+                    }
+                    let subject = subject_of(rule, |f| event_str(event, f), kind);
                     if let Some(alert) =
-                        eval_scalar(&rule, state, &subject, event.at_secs, value, 0.0)
+                        eval_scalar(rule, state, &subject, event.at_secs, value, 0.0)
                     {
                         fired.push(alert);
                     }
@@ -351,10 +406,9 @@ impl StreamObserver for MonitorObserver {
                     if !guard_holds(&rule.guard, |f| event_num(event, f)) {
                         continue;
                     }
-                    let subject = subject_of(&rule, |f| event_str(event, f), kind);
+                    let subject = subject_of(rule, |f| event_str(event, f), kind);
                     let t = event.at_secs;
                     let window_secs = *window_secs;
-                    let state = &mut st.states[i];
                     let window = state.windows.entry(subject.clone()).or_default();
                     window.push_back((t, 1.0));
                     while window.front().is_some_and(|&(t0, _)| t0 < t - window_secs) {
@@ -365,7 +419,7 @@ impl StreamObserver for MonitorObserver {
                     if let Condition::Threshold { cmp, value } = rule.condition {
                         if cmp.holds(count, value) {
                             if let Some(alert) =
-                                fire(&rule, state, &subject, t, count, value, t - onset)
+                                fire(rule, state, &subject, t, count, value, t - onset)
                             {
                                 fired.push(alert);
                             }
@@ -375,15 +429,23 @@ impl StreamObserver for MonitorObserver {
                 _ => {}
             }
         }
-        finish(&mut st, fired)
+        let mut extra = Vec::new();
+        if !st.slos.is_empty() && event.kind == "queue_wait" {
+            if let Some(wait) = event_num(event, "wait_secs") {
+                slo_sample(&mut st, SloSignal::QueueWait, event.at_secs, wait, &mut fired, &mut extra);
+            }
+        }
+        let mut records = finish(&mut st, fired);
+        records.extend(extra);
+        records
     }
 
     fn on_span_close(&mut self, span: &SpanRecord) -> Vec<EventRecord> {
         let mut st = self.state.lock().expect("monitor poisoned");
         let mut fired = Vec::new();
         let Some(end) = span.end_secs else { return Vec::new() };
-        for i in 0..st.rules.len() {
-            let rule = st.rules[i].clone();
+        let MonitorState { rules, states, .. } = &mut *st;
+        for (rule, state) in rules.iter().zip(states.iter_mut()) {
             let Signal::SpanDuration { name } = &rule.signal else { continue };
             if *name != span.name {
                 continue;
@@ -392,9 +454,8 @@ impl StreamObserver for MonitorObserver {
                 continue;
             }
             let subject =
-                subject_of(&rule, |f| span.attr(f).map(str::to_string), name);
+                subject_of(rule, |f| span.attr(f).map(str::to_string), name);
             let duration = span.duration_secs();
-            let state = &mut st.states[i];
             let alert = match rule.condition {
                 Condition::QuantileVsFleet { subject_q, fleet_q, factor, min_samples } => {
                     insert_sorted(&mut state.fleet, duration);
@@ -410,7 +471,7 @@ impl StreamObserver for MonitorObserver {
                             quantile_sorted(&state.per_subject[&subject], subject_q);
                         if subject_quantile > bound {
                             fire(
-                                &rule,
+                                rule,
                                 state,
                                 &subject,
                                 end,
@@ -425,25 +486,39 @@ impl StreamObserver for MonitorObserver {
                 }
                 // Threshold/rate conditions see the duration as a plain scalar
                 // sample whose condition existed since the span started.
-                _ => eval_scalar(&rule, state, &subject, end, duration, duration),
+                _ => eval_scalar(rule, state, &subject, end, duration, duration),
             };
             fired.extend(alert);
         }
-        finish(&mut st, fired)
+        let mut extra = Vec::new();
+        if !st.slos.is_empty() && span.name == "job" && span.attr("outcome") == Some("ok") {
+            if let Some(acc) = span.attr("accession").map(str::to_string) {
+                if st.seen_accessions.insert(acc) {
+                    // Batch campaigns submit everything at t = 0, so an
+                    // accession's turnaround *is* its first-completion time.
+                    let duration = span.duration_secs();
+                    let cost = duration * st.cost_usd_per_hour / 3600.0;
+                    slo_sample(&mut st, SloSignal::AccessionTurnaround, end, end, &mut fired, &mut extra);
+                    slo_sample(&mut st, SloSignal::AccessionCost, end, cost, &mut fired, &mut extra);
+                }
+            }
+        }
+        let mut records = finish(&mut st, fired);
+        records.extend(extra);
+        records
     }
 
     fn on_gauge(&mut self, at_secs: f64, name: &str, value: f64) -> Vec<EventRecord> {
         let mut st = self.state.lock().expect("monitor poisoned");
         let mut fired = Vec::new();
-        for i in 0..st.rules.len() {
-            let rule = st.rules[i].clone();
+        let MonitorState { rules, states, .. } = &mut *st;
+        for (rule, state) in rules.iter().zip(states.iter_mut()) {
             let Signal::Gauge(gauge) = &rule.signal else { continue };
             if gauge != name {
                 continue;
             }
-            let subject = subject_of(&rule, |_| None, name);
-            let state = &mut st.states[i];
-            if let Some(alert) = eval_scalar(&rule, state, &subject, at_secs, value, 0.0) {
+            let subject = subject_of(rule, |_| None, name);
+            if let Some(alert) = eval_scalar(rule, state, &subject, at_secs, value, 0.0) {
                 fired.push(alert);
             }
         }
@@ -541,7 +616,7 @@ fn subject_of(
 }
 
 fn event_num(event: &EventRecord, field: &str) -> Option<f64> {
-    event.fields.iter().find(|(k, _)| k == field).and_then(|(_, v)| match v {
+    event.fields.iter().find(|(k, _)| *k == field).and_then(|(_, v)| match v {
         JsonValue::Num(n) => Some(*n),
         JsonValue::Int(n) => Some(*n as f64),
         JsonValue::UInt(n) => Some(*n as f64),
@@ -551,7 +626,7 @@ fn event_num(event: &EventRecord, field: &str) -> Option<f64> {
 }
 
 fn event_str(event: &EventRecord, field: &str) -> Option<String> {
-    event.fields.iter().find(|(k, _)| k == field).map(|(_, v)| match v {
+    event.fields.iter().find(|(k, _)| *k == field).map(|(_, v)| match v {
         JsonValue::Str(s) => s.clone(),
         other => other.render(),
     })
@@ -590,6 +665,7 @@ mod tests {
     fn threshold_rule_respects_guard_and_dedups_per_subject() {
         let monitor = Monitor::new(MonitorConfig {
             rules: vec![AlertRule::early_stop_eligible(0.30, 0.10)],
+            ..MonitorConfig::default()
         });
         let rec = Recorder::new();
         rec.attach_observer(monitor.observer());
@@ -614,7 +690,7 @@ mod tests {
     #[test]
     fn fault_burst_counts_in_a_sliding_window() {
         let monitor =
-            Monitor::new(MonitorConfig { rules: vec![AlertRule::fault_burst(100.0, 3)] });
+            Monitor::new(MonitorConfig { rules: vec![AlertRule::fault_burst(100.0, 3)], ..MonitorConfig::default() });
         let rec = Recorder::new();
         rec.attach_observer(monitor.observer());
         for t in [0.0, 10.0, 200.0, 210.0] {
@@ -637,6 +713,7 @@ mod tests {
     fn backlog_growth_is_a_rate_over_a_window() {
         let monitor = Monitor::new(MonitorConfig {
             rules: vec![AlertRule::queue_backlog_growth(100.0, 0.5)],
+            ..MonitorConfig::default()
         });
         let rec = Recorder::new();
         rec.attach_observer(monitor.observer());
@@ -657,6 +734,7 @@ mod tests {
     fn straggler_rule_compares_subject_p99_to_fleet_median() {
         let monitor = Monitor::new(MonitorConfig {
             rules: vec![AlertRule::straggler_instances(3.0, 4)],
+            ..MonitorConfig::default()
         });
         let rec = Recorder::new();
         rec.attach_observer(monitor.observer());

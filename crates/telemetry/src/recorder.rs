@@ -15,8 +15,9 @@ use std::sync::Mutex;
 
 /// A streaming subscriber to the telemetry feed (the live-monitor hook).
 ///
-/// Observers are notified *after* the recorder has appended the record, outside
-/// its state lock. Whatever events an observer returns — alert records, in
+/// Observers are notified outside the recorder's state lock; records they fire
+/// on are appended to the log after their trigger (observers read the stream,
+/// never the log). Whatever events an observer returns — alert records, in
 /// practice — are appended to the same event log (and counted in the
 /// `alerts_fired` counter) but do **not** re-notify observers, so an observer
 /// cannot trigger itself. Observers see the stream in the simulator's
@@ -107,27 +108,48 @@ impl Recorder {
         self.observed.store(true, Ordering::Release);
     }
 
-    /// Run `notify` over every observer and append whatever alert events they
-    /// return. Alerts bypass observer notification (no self-triggering).
+    /// Run `notify` over every observer and append whatever events they return.
+    /// Returned records bypass observer notification (no self-triggering). Only
+    /// records of kind `alert` bump the `alerts_fired` counter — observers also
+    /// emit informational records (`slo_budget`, `slo_clear`) that are not
+    /// alerts.
     fn notify_observers(
         &self,
-        mut notify: impl FnMut(&mut dyn StreamObserver) -> Vec<EventRecord>,
+        notify: impl FnMut(&mut dyn StreamObserver) -> Vec<EventRecord>,
     ) {
-        if !self.observed.load(Ordering::Acquire) {
+        let alerts = self.collect_observer_records(notify);
+        if alerts.is_empty() {
             return;
+        }
+        let mut inner = self.lock();
+        Self::append_observer_records(&mut inner, alerts);
+    }
+
+    /// Run `notify` over every observer and collect whatever records they
+    /// return, without touching the log. Empty (no allocation) when nothing is
+    /// observing or nothing fired.
+    fn collect_observer_records(
+        &self,
+        mut notify: impl FnMut(&mut dyn StreamObserver) -> Vec<EventRecord>,
+    ) -> Vec<EventRecord> {
+        if !self.observed.load(Ordering::Acquire) {
+            return Vec::new();
         }
         let mut observers = self.observers.lock().expect("telemetry observers poisoned");
         let mut alerts: Vec<EventRecord> = Vec::new();
         for obs in observers.iter_mut() {
             alerts.extend(notify(obs.as_mut()));
         }
-        drop(observers);
-        if alerts.is_empty() {
-            return;
-        }
-        let mut inner = self.lock();
+        alerts
+    }
+
+    /// Append observer-returned records to the log under an already-held inner
+    /// lock. Bypasses observer notification (no self-triggering).
+    fn append_observer_records(inner: &mut Inner, alerts: Vec<EventRecord>) {
         for alert in alerts {
-            inner.metrics.counter_add("alerts_fired", 1);
+            if alert.kind == "alert" {
+                inner.metrics.counter_add("alerts_fired", 1);
+            }
             inner.events.push(alert);
         }
     }
@@ -177,6 +199,7 @@ impl Recorder {
         if !self.enabled || id.is_none() {
             return;
         }
+        let observed = self.observed.load(Ordering::Acquire);
         let closed = {
             let mut inner = self.lock();
             let span = &mut inner.spans[(id.0 - 1) as usize];
@@ -188,7 +211,9 @@ impl Recorder {
             );
             if span.end_secs.is_none() {
                 span.end_secs = Some(at_secs);
-                Some(span.clone())
+                // The clone exists only to hand observers a view outside the
+                // recorder lock; skip it entirely on unobserved runs.
+                observed.then(|| span.clone())
             } else {
                 None
             }
@@ -214,18 +239,22 @@ impl Recorder {
         id
     }
 
-    /// Append a structured event.
-    pub fn event(&self, at_secs: f64, kind: &str, fields: Vec<(&str, JsonValue)>) {
+    /// Append a structured event. Kind and field names are schema constants
+    /// (literals at every call site), so the record is built without per-key
+    /// allocations — progress streaming makes this the hottest telemetry path.
+    pub fn event(&self, at_secs: f64, kind: &'static str, fields: Vec<(&'static str, JsonValue)>) {
         if !self.enabled {
             return;
         }
-        let record = EventRecord {
-            at_secs,
-            kind: kind.to_string(),
-            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-        };
-        self.lock().events.push(record.clone());
-        self.notify_observers(|obs| obs.on_event(&record));
+        let record = EventRecord { at_secs, kind, fields };
+        // Observers see the record before it lands in the log (they read the
+        // stream, not the log), and their alerts are appended after it — same
+        // cause-before-effect log order as before, without deep-cloning every
+        // record on the hot path.
+        let fired = self.collect_observer_records(|obs| obs.on_event(&record));
+        let mut inner = self.lock();
+        inner.events.push(record);
+        Self::append_observer_records(&mut inner, fired);
     }
 
     /// Add `n` to counter `name`.
@@ -264,6 +293,15 @@ impl Recorder {
         self.lock().metrics.observe(name, bounds, v);
     }
 
+    /// Record `v` into quantile sketch `name` (created with relative error bound
+    /// `alpha` on first touch).
+    pub fn sketch_observe(&self, name: &str, alpha: f64, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().metrics.sketch_observe(name, alpha, v);
+    }
+
     /// Snapshot of every span recorded so far (emission order).
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.lock().spans.clone()
@@ -288,9 +326,9 @@ impl Recorder {
     /// non-empty). Byte-identical across same-seed runs.
     pub fn events_ndjson(&self) -> String {
         let inner = self.lock();
-        let mut out = String::new();
+        let mut out = String::with_capacity(inner.events.len() * 96);
         for e in &inner.events {
-            out.push_str(&e.ndjson_line());
+            e.write_ndjson_into(&mut out);
             out.push('\n');
         }
         out
@@ -364,7 +402,7 @@ mod tests {
             vec![EventRecord {
                 at_secs: event.at_secs,
                 kind: "alert".into(),
-                fields: vec![("saw".into(), JsonValue::from(event.kind.as_str()))],
+                fields: vec![("saw", JsonValue::from(event.kind))],
             }]
         }
         fn on_span_close(&mut self, span: &SpanRecord) -> Vec<EventRecord> {

@@ -79,6 +79,9 @@ pub struct CampaignTelemetry {
     pub metrics_json: String,
     /// `(name, count, p50, p95, p99)` for every registry histogram, sorted by name.
     pub histogram_summaries: Vec<(String, u64, f64, f64, f64)>,
+    /// `(name, count, p50, p95, p99)` for every registry quantile sketch, sorted
+    /// by name (the SLO engine's streaming percentiles).
+    pub sketch_summaries: Vec<(String, u64, f64, f64, f64)>,
     /// Chrome/Perfetto trace-event JSON of the span tree + event log — load it
     /// at `ui.perfetto.dev` or `chrome://tracing`. Byte-identical across
     /// same-seed runs.
@@ -178,6 +181,10 @@ pub fn summarize(rec: &Recorder) -> CampaignTelemetry {
         .histograms()
         .map(|(name, h)| (name.to_string(), h.count(), h.p50(), h.p95(), h.p99()))
         .collect();
+    let sketch_summaries = metrics
+        .sketches()
+        .map(|(name, s)| (name.to_string(), s.count(), s.p50(), s.p95(), s.p99()))
+        .collect();
 
     CampaignTelemetry {
         n_spans: spans.len(),
@@ -194,6 +201,7 @@ pub fn summarize(rec: &Recorder) -> CampaignTelemetry {
         event_log: rec.events_ndjson(),
         metrics_json: rec.metrics_json(),
         histogram_summaries,
+        sketch_summaries,
         perfetto_json: crate::export::perfetto_trace_from(rec),
         openmetrics_text: crate::export::openmetrics_from(rec),
     }
@@ -246,6 +254,13 @@ impl CampaignTelemetry {
             let _ = writeln!(
                 w,
                 "  hist {:<26} n={:<5} p50={:<10.4} p95={:<10.4} p99={:.4}",
+                name, count, p50, p95, p99
+            );
+        }
+        for (name, count, p50, p95, p99) in &self.sketch_summaries {
+            let _ = writeln!(
+                w,
+                "  sketch {:<24} n={:<5} p50={:<10.4} p95={:<10.4} p99={:.4}",
                 name, count, p50, p95, p99
             );
         }

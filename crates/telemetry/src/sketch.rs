@@ -1,0 +1,286 @@
+//! Deterministic, mergeable streaming quantile sketch.
+//!
+//! A DDSketch-style log-bucketed sketch with *relative* error guarantee α: every
+//! quantile estimate `e` for a true value `v` satisfies `|e - v| <= α·v`. Values
+//! land in geometric buckets keyed by `ceil(ln(v) / ln(γ))` with
+//! `γ = (1 + α)/(1 - α)`, so the sketch state is a pure function of the observation
+//! *multiset* — no stream-order dependence, no randomized compaction. That choice
+//! (over literal KLL/GK, whose compaction schedules depend on arrival order) is
+//! what makes [`QuantileSketch::merge`] exactly associative and commutative at the
+//! byte level: merging is pointwise `u64` bucket addition.
+//!
+//! The sketch deliberately tracks no `sum`: floating-point addition is not
+//! associative, and a sum field would break the byte-identical-merge contract.
+//! Callers that need a sum keep a [`crate::Histogram`] alongside (the registry
+//! does exactly that).
+//!
+//! Memory is `O(log(max/min) / α)` buckets — unbounded in theory, but for
+//! sim-time durations (1e-9 s .. 1e5 s) at α = 0.01 that is under ~1700 buckets,
+//! and campaigns observe a far narrower band in practice.
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Values below this are counted as exact zeros (one dedicated counter) rather
+/// than log-bucketed: `ln` diverges at 0 and sim-time durations below a
+/// nanosecond are indistinguishable from it.
+const ZERO_EPS: f64 = 1e-9;
+
+/// A deterministic, mergeable streaming quantile sketch with relative error
+/// bound `alpha` (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    gamma: f64,
+    ln_gamma: f64,
+    zero_count: u64,
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch with relative error bound `alpha` (must be in `(0, 1)`).
+    pub fn new(alpha: f64) -> QuantileSketch {
+        assert!(
+            alpha > 0.0 && alpha < 1.0 && alpha.is_finite(),
+            "sketch alpha must be in (0, 1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            ln_gamma: gamma.ln(),
+            zero_count: 0,
+            buckets: BTreeMap::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Record one observation (must be finite and non-negative — every signal we
+    /// sketch is a duration or a dollar amount).
+    pub fn observe(&mut self, v: f64) {
+        assert!(v.is_finite() && v >= 0.0, "sketch observations must be finite and >= 0, got {v}");
+        if v < ZERO_EPS {
+            self.zero_count += 1;
+        } else {
+            let key = (v.ln() / self.ln_gamma).ceil() as i32;
+            *self.buckets.entry(key).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`, within relative error `alpha` of the
+    /// exact rank-`⌊q·(n-1)⌋` order statistic, clamped to the observed
+    /// `[min, max]`. Returns 0 when empty (same edge contract as
+    /// [`crate::Histogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // 0-based rank of the order statistic we estimate.
+        let rank = (q * (self.count - 1) as f64).floor() as u64;
+        if rank < self.zero_count {
+            return 0.0;
+        }
+        let mut cum = self.zero_count;
+        for (&key, &c) in &self.buckets {
+            cum += c;
+            if cum > rank {
+                // Midpoint of the bucket (γ^(k-1), γ^k]: 2γ^k / (γ + 1).
+                let est = 2.0 * self.gamma.powi(key) / (self.gamma + 1.0);
+                return est.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another sketch into this one. Both must share the same `alpha`.
+    ///
+    /// Because the state is a pure function of the observation multiset, merge is
+    /// exactly associative and commutative: `(a ∪ b) ∪ c` and `a ∪ (b ∪ c)`
+    /// produce byte-identical serialized state (property-tested in
+    /// `tests/tests/slo_props.rs`).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.alpha.to_bits() == other.alpha.to_bits(),
+            "cannot merge sketches with different alpha ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        self.zero_count += other.zero_count;
+        for (&key, &c) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serialize to the stable JSON shape (`alpha`, `count`, `zero_count`,
+    /// `buckets` as a sorted `key -> count` object, `min`, `max`). Byte-identical
+    /// for equal observation multisets.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("alpha", JsonValue::from(self.alpha)),
+            ("count", JsonValue::from(self.count)),
+            ("zero_count", JsonValue::from(self.zero_count)),
+            (
+                "buckets",
+                JsonValue::Obj(
+                    self.buckets
+                        .iter()
+                        .map(|(&k, &c)| (k.to_string(), JsonValue::from(c)))
+                        .collect(),
+                ),
+            ),
+            ("min", JsonValue::from(self.min())),
+            ("max", JsonValue::from(self.max())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+        sorted[rank]
+    }
+
+    #[test]
+    fn empty_sketch_reports_zeros() {
+        let s = QuantileSketch::new(0.01);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let alpha = 0.01;
+        let mut s = QuantileSketch::new(alpha);
+        let mut vals: Vec<f64> = (0..1000).map(|i| 0.05 + 0.37 * i as f64).collect();
+        for &v in &vals {
+            s.observe(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&vals, q);
+            let est = s.quantile(q);
+            assert!(
+                (est - exact).abs() <= alpha * exact + 1e-12,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_are_exact() {
+        let mut s = QuantileSketch::new(0.05);
+        for _ in 0..10 {
+            s.observe(0.0);
+        }
+        s.observe(100.0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = QuantileSketch::new(0.02);
+        let mut b = QuantileSketch::new(0.02);
+        let mut whole = QuantileSketch::new(0.02);
+        for i in 0..100 {
+            let v = 1.0 + i as f64 * 0.83;
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.to_json().render(), whole.to_json().render());
+    }
+
+    #[test]
+    fn serialization_is_order_independent() {
+        let mut fwd = QuantileSketch::new(0.01);
+        let mut rev = QuantileSketch::new(0.01);
+        let vals: Vec<f64> = (0..200).map(|i| 0.01 * (i * i) as f64 + 0.5).collect();
+        for &v in &vals {
+            fwd.observe(v);
+        }
+        for &v in vals.iter().rev() {
+            rev.observe(v);
+        }
+        assert_eq!(fwd.to_json().render(), rev.to_json().render());
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn merge_rejects_alpha_mismatch() {
+        let mut a = QuantileSketch::new(0.01);
+        let b = QuantileSketch::new(0.02);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn negative_observation_panics() {
+        let mut s = QuantileSketch::new(0.01);
+        s.observe(-1.0);
+    }
+}

@@ -7,10 +7,16 @@
 //! ```text
 //! cargo run --release -p atlas-examples --bin cloud_atlas
 //! cargo run --release -p atlas-examples --bin cloud_atlas -- --trace-out trace.json
+//! cargo run --release -p atlas-examples --bin cloud_atlas -- --metrics-out metrics.prom
 //! ```
 //!
 //! `--trace-out <path>` writes the campaign's span tree as Chrome/Perfetto
 //! trace-event JSON — open it at <https://ui.perfetto.dev>.
+//!
+//! `--metrics-out <path>` writes the campaign's final metrics snapshot
+//! (counters, gauges, histograms, SLO quantile-sketch summaries) as an
+//! OpenMetrics text exposition — point `promtool` or any Prometheus scraper
+//! tooling at it.
 
 use atlas_pipeline::experiments::{paper_scale_sizer, Substrate};
 use atlas_pipeline::orchestrator::{CampaignConfig, Orchestrator};
@@ -21,16 +27,21 @@ use genomics::EnsemblParams;
 use sra_sim::accession::CatalogParams;
 use sra_sim::SraRepository;
 use std::sync::Arc;
-use telemetry::MonitorConfig;
+use telemetry::{MonitorConfig, SloConfig, SloRegistry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => {
                 trace_out =
                     Some(args.next().ok_or("--trace-out needs a file path argument")?);
+            }
+            "--metrics-out" => {
+                metrics_out =
+                    Some(args.next().ok_or("--metrics-out needs a file path argument")?);
             }
             other => return Err(format!("unknown argument: {other}").into()),
         }
@@ -74,6 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Watch the campaign live: stragglers, backlog growth, fault bursts, and
     // early-stop-eligible accessions fire alerts into the report.
     config.monitor = Some(MonitorConfig::standard());
+    // Evaluate SLOs over the same stream (turnaround p95, queue-wait p99,
+    // cost-per-accession cap) and build the per-accession attribution ledger.
+    config.slo = Some(SloConfig {
+        registry: SloRegistry::standard(4.0 * 3600.0, 3600.0, 0.25),
+        ..SloConfig::default()
+    });
 
     let orchestrator = Orchestrator::new(pipeline, config)?;
     let ids: Vec<String> = {
@@ -89,6 +106,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = report.telemetry.as_ref().ok_or("--trace-out requires telemetry enabled")?;
         std::fs::write(&path, &t.perfetto_json)?;
         println!("\nwrote Perfetto trace to {path} — open it at https://ui.perfetto.dev");
+    }
+
+    if let Some(path) = metrics_out {
+        let t = report.telemetry.as_ref().ok_or("--metrics-out requires telemetry enabled")?;
+        std::fs::write(&path, &t.openmetrics_text)?;
+        println!("\nwrote OpenMetrics exposition to {path}");
     }
 
     println!("\nfleet over time (active instances | pending messages):");

@@ -148,7 +148,10 @@ fn legacy_engine_still_replays_and_matches_the_kernel() {
     let (pipeline, ids) = pipeline_fixture(10);
     let run_legacy = || {
         let mut cfg = chaos_config(FaultPlan::chaos(7));
-        cfg.engine = CampaignEngine::LegacyTick;
+        #[allow(deprecated)]
+        {
+            cfg.engine = CampaignEngine::LegacyTick;
+        }
         Orchestrator::new(Arc::clone(&pipeline), cfg).unwrap().run(&ids).unwrap()
     };
     let l1 = run_legacy();

@@ -1,0 +1,150 @@
+//! Property tests for the SLO engine's two primitives:
+//!
+//! * the streaming quantile sketch — DDSketch-style relative-error guarantee
+//!   against the exact sample quantile, and a merge that is *byte*-associative
+//!   and order-independent (serialized state identical, not approximately
+//!   equal), which is what makes per-shard sketches safely combinable;
+//! * the multi-window burn-rate evaluator — one alert per burn episode on
+//!   saturated error traffic, exactly one clear on recovery, and silence on
+//!   healthy streams.
+
+use proptest::prelude::*;
+use telemetry::slo::SloState;
+use telemetry::{BurnRateRule, QuantileSketch, Slo, SloSignal};
+
+/// The exact sample quantile at the same rank convention the sketch uses
+/// (`floor(q · (n − 1))` into the sorted multiset).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn sketch_of(alpha: f64, vals: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(alpha);
+    for &v in vals {
+        s.observe(v);
+    }
+    s
+}
+
+fn turnaround_slo(windows: Vec<BurnRateRule>) -> Slo {
+    Slo {
+        id: "turnaround_p95".into(),
+        signal: SloSignal::AccessionTurnaround,
+        threshold: 100.0,
+        target: 0.95,
+        windows,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every estimated quantile is within relative error `alpha` of the exact
+    /// sample quantile (the DDSketch guarantee the engine's percentiles rest on).
+    #[test]
+    fn sketch_quantiles_stay_within_relative_error(
+        values in prop::collection::vec(0.0f64..1e6, 1..400),
+        alpha_pct in 1u32..10,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let sk = sketch_of(alpha, &values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = sk.quantile(q);
+            prop_assert!(
+                (est - exact).abs() <= alpha * exact + 1e-9,
+                "q{}: est {} vs exact {} (alpha {})", q, est, exact, alpha
+            );
+        }
+    }
+
+    /// Merging is bucket-count addition, so any grouping of sub-streams yields
+    /// a serialized state byte-identical to the single-stream sketch —
+    /// associativity and order-independence hold exactly, not approximately.
+    #[test]
+    fn sketch_merge_is_byte_associative_and_order_independent(
+        a in prop::collection::vec(0.0f64..1e6, 0..120),
+        b in prop::collection::vec(0.0f64..1e6, 0..120),
+        c in prop::collection::vec(0.0f64..1e6, 0..120),
+    ) {
+        const ALPHA: f64 = 0.02;
+        // ((a ∪ b) ∪ c)
+        let mut left = sketch_of(ALPHA, &a);
+        left.merge(&sketch_of(ALPHA, &b));
+        left.merge(&sketch_of(ALPHA, &c));
+        // (a ∪ (b ∪ c))
+        let mut tail = sketch_of(ALPHA, &b);
+        tail.merge(&sketch_of(ALPHA, &c));
+        let mut right = sketch_of(ALPHA, &a);
+        right.merge(&tail);
+        // the single stream, and the single stream reversed
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let single = sketch_of(ALPHA, &all);
+        all.reverse();
+        let reversed = sketch_of(ALPHA, &all);
+
+        let want = single.to_json().render();
+        prop_assert_eq!(left.to_json().render(), want.clone());
+        prop_assert_eq!(right.to_json().render(), want.clone());
+        prop_assert_eq!(reversed.to_json().render(), want);
+    }
+
+    /// Healthy traffic (every sample under threshold) never fires a burn alert,
+    /// never emits a clear, and leaves the full error budget.
+    #[test]
+    fn healthy_streams_never_burn(
+        n in 1usize..200,
+        step in 1.0f64..120.0,
+    ) {
+        let slo = turnaround_slo(vec![BurnRateRule::fast(), BurnRateRule::slow()]);
+        let mut st = SloState::new(&slo);
+        let mut t = 0.0;
+        for _ in 0..n {
+            t += step;
+            let (alerts, extra) = st.sample(&slo, t, 1.0);
+            prop_assert!(alerts.is_empty(), "healthy sample fired {:?}", alerts);
+            prop_assert!(
+                !extra.iter().any(|e| e.kind == "slo_clear"),
+                "nothing to clear on a healthy stream"
+            );
+        }
+        prop_assert!((st.budget_remaining(&slo) - 1.0).abs() < 1e-12);
+    }
+
+    /// Saturated error traffic fires exactly one alert per window (hysteresis:
+    /// one per burn episode), and recovery emits exactly one matching clear.
+    #[test]
+    fn burn_fires_once_per_episode_and_clears_on_recovery(
+        n_bad in 20usize..120,
+        step in 1.0f64..30.0,
+    ) {
+        let slo = turnaround_slo(vec![BurnRateRule::fast()]);
+        let mut st = SloState::new(&slo);
+        let mut t = 0.0;
+        let mut fired = 0usize;
+        let mut cleared = 0usize;
+        for _ in 0..n_bad {
+            t += step;
+            let (alerts, extra) = st.sample(&slo, t, 200.0);
+            fired += alerts.len();
+            cleared += extra.iter().filter(|e| e.kind == "slo_clear").count();
+        }
+        prop_assert_eq!(fired, 1, "one alert per burn episode (hysteresis)");
+        prop_assert_eq!(cleared, 0, "no clear while still burning");
+        // Recovery: good samples long enough to drain the short window.
+        for _ in 0..400 {
+            t += step;
+            let (alerts, extra) = st.sample(&slo, t, 1.0);
+            fired += alerts.len();
+            cleared += extra.iter().filter(|e| e.kind == "slo_clear").count();
+        }
+        prop_assert_eq!(fired, 1, "no re-fire during recovery");
+        prop_assert_eq!(cleared, 1, "exactly one clear ends the episode");
+        prop_assert!(st.budget_remaining(&slo) < 1.0, "bad samples spent budget");
+    }
+}

@@ -164,10 +164,12 @@ proptest! {
         n_msgs in 1usize..8,
         ops in prop::collection::vec(op_strategy(), 0..150),
     ) {
+        #[allow(deprecated)]
         use cloudsim::sqs::legacy::LegacySqsQueue;
 
         let vis = SimDuration::from_secs(VISIBILITY_SECS);
         let mut new_q: SqsQueue<u32> = SqsQueue::new(vis).with_max_receive_count(MAX_RECEIVE);
+        #[allow(deprecated)]
         let mut old_q: LegacySqsQueue<u32> =
             LegacySqsQueue::new(vis).with_max_receive_count(MAX_RECEIVE);
         for m in 0..n_msgs as u32 {

@@ -118,6 +118,7 @@ fn fault_burst_alerts_fire_online() {
     cfg.max_receive_count = Some(6);
     cfg.monitor = Some(MonitorConfig {
         rules: vec![telemetry::AlertRule::fault_burst(300.0, 5)],
+        ..MonitorConfig::default()
     });
     let report = run(&pipeline, &ids, cfg);
     assert!(report.fault_counters.total_faults() >= 5, "premise: chaos struck hard enough");
@@ -161,6 +162,7 @@ fn planted_straggler_instance_fires_exactly_one_alert() {
     let mut cfg = base_config();
     cfg.monitor = Some(MonitorConfig {
         rules: vec![telemetry::AlertRule::straggler_instances(3.0, 8)],
+        ..MonitorConfig::default()
     });
     let report = run(&pipeline, &ids, cfg);
     assert_eq!(report.completed.len(), 12);
@@ -192,6 +194,7 @@ fn early_stop_eligible_alerts_precede_the_decision() {
     let mut cfg = base_config();
     cfg.monitor = Some(MonitorConfig {
         rules: vec![telemetry::AlertRule::early_stop_eligible(0.30, 0.10)],
+        ..MonitorConfig::default()
     });
     let report = run(&pipeline, &ids, cfg);
     let stopped: Vec<&str> = report
