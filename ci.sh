@@ -15,8 +15,8 @@ cargo test -q --release --offline -p atlas-integration-tests --test telemetry_ex
 # The SLO engine's OpenMetrics exposition (sketch summaries, budget gauges,
 # ledger rollups) is pinned the same way, alongside its pure-observer proof.
 cargo test -q --release --offline -p atlas-integration-tests --test slo_campaign
-# Engine equivalence is a merge gate, not just a test: the discrete-event kernel
-# must stay byte-for-byte interchangeable with the legacy tick-loop oracle on
+# Replay determinism is a merge gate, not just a test: the discrete-event kernel
+# must reproduce a campaign byte-for-byte from identical config + workload on
 # chaos-seeded and fleet-scale campaigns, even when the suite above is filtered.
 cargo test -q --release --offline -p atlas-integration-tests --test devent_diff
 cargo clippy --offline -- -D warnings

@@ -1,11 +1,14 @@
-//! Differential verification: legacy loop vs discrete-event kernel.
+//! Differential verification: the kernel engine against its own replay.
 //!
-//! The kernel engine is only trustworthy because this harness can prove, for any
-//! seeded campaign, that it reproduces the legacy loop *byte for byte*: same
-//! completion order, same dead letters, same fault tallies, same makespan and
-//! cost down to the f64 bit patterns (all folded into
-//! [`CampaignReport::summary_digest`]), same dispatched-event count, and the same
-//! telemetry event log. The chaos/differential test suites drive it across
+//! The discrete-event kernel is only trustworthy because this harness can
+//! prove, for any seeded campaign, that a second run on identical config +
+//! workload reproduces the first *byte for byte*: same completion order, same
+//! dead letters, same fault tallies, same makespan and cost down to the f64
+//! bit patterns (all folded into [`CampaignReport::summary_digest`]), same
+//! dispatched-event count, and the same telemetry event log. The legacy tick
+//! loop this harness originally compared against has been deleted; determinism
+//! is now pinned by replay, and the kernel's event semantics by the chaos and
+//! conservation suites. The chaos/differential tests drive this across
 //! fault-free, chaos-seeded, and fleet-scale modeled campaigns.
 //!
 //! Monitor-gated `progress`/`alert` lines are stripped from the log comparison —
@@ -14,39 +17,34 @@
 
 use std::sync::Arc;
 
-use crate::orchestrator::{CampaignConfig, CampaignEngine, CampaignReport, Orchestrator};
+use crate::orchestrator::{CampaignConfig, CampaignReport, Orchestrator};
 use crate::workload::CampaignWorkload;
 use crate::AtlasError;
 
-/// The same campaign run through both engines.
+/// The same campaign run twice through the kernel engine.
 #[derive(Debug)]
 pub struct EngineComparison {
-    /// Report from the legacy tick loop.
-    pub legacy: CampaignReport,
-    /// Report from the discrete-event kernel.
-    pub kernel: CampaignReport,
+    /// Report from the first run.
+    pub first: CampaignReport,
+    /// Report from the replay on identical config + workload.
+    pub replay: CampaignReport,
 }
 
-/// Run `accessions` through both engines on identical config + workload.
+/// Run `accessions` through the kernel engine twice on identical config +
+/// workload, returning both reports for byte-level comparison.
 pub fn run_differential(
     workload: Arc<dyn CampaignWorkload>,
     config: &CampaignConfig,
     accessions: &[String],
 ) -> Result<EngineComparison, AtlasError> {
-    let mut legacy_cfg = config.clone();
-    #[allow(deprecated)]
-    {
-        legacy_cfg.engine = CampaignEngine::LegacyTick;
-    }
-    let mut kernel_cfg = config.clone();
-    kernel_cfg.engine = CampaignEngine::EventKernel;
-    let legacy = Orchestrator::with_workload(Arc::clone(&workload), legacy_cfg)?.run(accessions)?;
-    let kernel = Orchestrator::with_workload(workload, kernel_cfg)?.run(accessions)?;
-    Ok(EngineComparison { legacy, kernel })
+    let first =
+        Orchestrator::with_workload(Arc::clone(&workload), config.clone())?.run(accessions)?;
+    let replay = Orchestrator::with_workload(workload, config.clone())?.run(accessions)?;
+    Ok(EngineComparison { first, replay })
 }
 
 /// The structured event log with monitor-gated lines (`progress`, `alert`)
-/// removed — the part of the log both engines must reproduce byte for byte.
+/// removed — the part of the log every replay must reproduce byte for byte.
 /// `None` when telemetry was off.
 pub fn stripped_event_log(report: &CampaignReport) -> Option<String> {
     let t = report.telemetry.as_ref()?;
@@ -60,14 +58,14 @@ pub fn stripped_event_log(report: &CampaignReport) -> Option<String> {
 }
 
 impl EngineComparison {
-    /// Check byte-for-byte equivalence. `Ok(())` when the engines agree;
+    /// Check byte-for-byte equivalence. `Ok(())` when the runs agree;
     /// otherwise every observed divergence, labeled.
     pub fn assert_equivalent(&self) -> Result<(), String> {
         let mut diffs: Vec<String> = Vec::new();
-        let (l, k) = (&self.legacy, &self.kernel);
+        let (l, k) = (&self.first, &self.replay);
         if l.summary_digest() != k.summary_digest() {
             diffs.push(format!(
-                "summary digest: legacy {:#018x} != kernel {:#018x}",
+                "summary digest: first {:#018x} != replay {:#018x}",
                 l.summary_digest(),
                 k.summary_digest()
             ));
@@ -82,38 +80,38 @@ impl EngineComparison {
         }
         if l.dead_lettered != k.dead_lettered {
             diffs.push(format!(
-                "dead letters: legacy {:?} != kernel {:?}",
+                "dead letters: first {:?} != replay {:?}",
                 l.dead_lettered, k.dead_lettered
             ));
         }
         if l.makespan.as_secs().to_bits() != k.makespan.as_secs().to_bits() {
             diffs.push(format!(
-                "makespan: legacy {} != kernel {}",
+                "makespan: first {} != replay {}",
                 l.makespan.as_secs(),
                 k.makespan.as_secs()
             ));
         }
         if l.cost.total_usd.to_bits() != k.cost.total_usd.to_bits() {
             diffs.push(format!(
-                "total cost: legacy {} != kernel {}",
+                "total cost: first {} != replay {}",
                 l.cost.total_usd, k.cost.total_usd
             ));
         }
         if l.sim_events != k.sim_events {
             diffs.push(format!(
-                "dispatched events: legacy {} != kernel {}",
+                "dispatched events: first {} != replay {}",
                 l.sim_events, k.sim_events
             ));
         }
         if l.instances_launched != k.instances_launched {
             diffs.push(format!(
-                "instances launched: legacy {} != kernel {}",
+                "instances launched: first {} != replay {}",
                 l.instances_launched, k.instances_launched
             ));
         }
         if l.interruptions != k.interruptions {
             diffs.push(format!(
-                "interruptions: legacy {} != kernel {}",
+                "interruptions: first {} != replay {}",
                 l.interruptions, k.interruptions
             ));
         }
@@ -135,7 +133,7 @@ impl EngineComparison {
             }
             (Some(_), Some(_)) => {}
             (None, None) => {}
-            _ => diffs.push("one engine recorded telemetry, the other did not".to_string()),
+            _ => diffs.push("one run recorded telemetry, the other did not".to_string()),
         }
         if diffs.is_empty() {
             Ok(())

@@ -1,7 +1,8 @@
 //! The discrete-event campaign engine (the default [`crate::orchestrator::CampaignEngine`]).
 //!
-//! Runs the exact event semantics of the legacy loop — same event taxonomy, same
-//! timestamps, same `(time, sequence)` ordering — on kernel-grade machinery:
+//! Runs the exact event semantics the deleted legacy loop pioneered — same
+//! event taxonomy, same timestamps, same `(time, sequence)` ordering — on
+//! kernel-grade machinery:
 //!
 //! * [`cloudsim::Kernel`] schedules events (monotone clock, deterministic
 //!   FIFO tie-break, dispatch stats);
@@ -14,10 +15,11 @@
 //!
 //! Nothing here is per-tick or O(campaign size) inside the event loop, which is
 //! what lets `bench_fleet_campaign` push 10k+ accessions across 1k+ instances in
-//! seconds — a regime two orders of magnitude beyond the legacy loop.
+//! seconds — a regime two orders of magnitude beyond the old per-tick loop
+//! (which soaked against this engine byte-for-byte before being deleted).
 //!
-//! Equivalence is not aspirational: [`crate::differential`] runs both engines on
-//! the same seeded campaign and asserts identical digests and event logs, and the
+//! Determinism is not aspirational: [`crate::differential`] replays the same
+//! seeded campaign and asserts identical digests and event logs, and the
 //! chaos/property suites run against this path.
 
 use std::collections::{BTreeMap, BTreeSet};

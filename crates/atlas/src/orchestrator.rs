@@ -21,53 +21,41 @@
 //! seconds of wall time. (At fleet scale, [`crate::workload::ModeledWorkload`]
 //! swaps the real alignment for a seeded synthetic one.)
 //!
-//! Two engines can drive a campaign (see [`CampaignEngine`]): the discrete-event
-//! kernel in [`crate::kernel_engine`] (the default) and the legacy loop kept in
-//! this module as a differential oracle. Both produce byte-identical reports; the
-//! harness in [`crate::differential`] proves it.
+//! Campaigns run on the discrete-event kernel in [`crate::kernel_engine`]
+//! (see [`CampaignEngine`]). The legacy per-tick loop it replaced has been
+//! deleted after soaking byte-for-byte against the kernel; the harness in
+//! [`crate::differential`] now pins determinism by replaying the kernel
+//! against itself.
 
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::early_stop::SavingsSummary;
-use crate::pipeline::{AtlasPipeline, PipelineResult, StageTimes};
+use crate::pipeline::{AtlasPipeline, PipelineResult};
 use crate::workload::CampaignWorkload;
 use crate::AtlasError;
-use bytes::Bytes;
-use cloudsim::asg::AutoScalingGroup;
-use cloudsim::cost::{CostReport, CostTracker};
-use cloudsim::faults::{FaultInjector, FaultOp, FaultPlan};
-use cloudsim::instance::{InstanceId, InstanceState, InstanceType};
+use cloudsim::cost::CostReport;
+use cloudsim::faults::FaultPlan;
+use cloudsim::instance::{InstanceId, InstanceType};
 use cloudsim::metrics::FaultCounters;
 use cloudsim::retry::RetryPolicy;
-#[allow(deprecated)]
-use cloudsim::sqs::legacy::LegacySqsQueue;
 use cloudsim::sqs::ReceiptHandle;
-use cloudsim::{EventQueue, ObjectStore, ScalingPolicy, SimDuration, SimTime, SpotMarket};
+use cloudsim::{ScalingPolicy, SimDuration, SpotMarket};
 use deseq_norm::{CountsMatrix, NormalizedMatrix};
 use star_aligner::quant::Strandedness;
 use telemetry::{
-    AlertEvent, CampaignTelemetry, JsonValue, Monitor, MonitorConfig, Recorder, SpanId,
-    TimeSeries, RATE_BUCKETS, SECS_BUCKETS,
+    AlertEvent, CampaignTelemetry, JsonValue, MonitorConfig, Recorder, SpanId,
 };
 
-/// Which simulation engine drives the campaign. Both produce byte-identical
-/// reports on the same config + workload (proven by [`crate::differential`]);
-/// they differ only in how far they scale.
+/// Which simulation engine drives the campaign. A single variant since the
+/// legacy per-tick scan loop was deleted: the discrete-event kernel soaked
+/// against it byte-for-byte and [`crate::differential`] now pins determinism by
+/// replaying the kernel against itself.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CampaignEngine {
     /// The discrete-event kernel ([`crate::kernel_engine`]): O(log n) per event,
     /// no per-event scans — fleets of thousands simulate in seconds.
     #[default]
     EventKernel,
-    /// The original loop: same event semantics, but with O(n) bookkeeping scans
-    /// (queue reconciliation, resolved-recount) per event. Kept as the
-    /// differential oracle; deprecated for anything beyond test-scale.
-    #[deprecated(
-        note = "differential oracle only — use `CampaignEngine::EventKernel`; scheduled for \
-                deletion once the event kernel has soaked (ROADMAP item 1)"
-    )]
-    LegacyTick,
 }
 
 /// Campaign configuration.
@@ -185,12 +173,6 @@ impl CampaignConfig {
             if !self.telemetry {
                 return Err(AtlasError::InvalidParams(
                     "slo requires telemetry (the SLO engine observes the telemetry stream)".into(),
-                ));
-            }
-            #[allow(deprecated)]
-            if self.engine == CampaignEngine::LegacyTick {
-                return Err(AtlasError::InvalidParams(
-                    "slo requires the event kernel (the legacy oracle is frozen)".into(),
                 ));
             }
         }
@@ -361,630 +343,13 @@ impl Orchestrator {
         Ok(Orchestrator { workload, config })
     }
 
-    /// Run the campaign over `accessions` with the configured engine.
+    /// Run the campaign over `accessions` on the discrete-event kernel.
     pub fn run(&self, accessions: &[String]) -> Result<CampaignReport, AtlasError> {
         match self.config.engine {
             CampaignEngine::EventKernel => {
                 crate::kernel_engine::run_campaign(&self.workload, &self.config, accessions)
             }
-            #[allow(deprecated)]
-            CampaignEngine::LegacyTick => self.run_legacy(accessions),
         }
-    }
-
-    /// The legacy loop: event-driven semantics over scan-heavy bookkeeping
-    /// ([`LegacySqsQueue`], per-event resolved recount). Frozen as the
-    /// differential oracle — behavior changes belong in the kernel engine and
-    /// must keep the two byte-identical.
-    #[allow(deprecated)]
-    fn run_legacy(&self, accessions: &[String]) -> Result<CampaignReport, AtlasError> {
-        let cfg = &self.config;
-        let mut events: EventQueue<Event> = EventQueue::new();
-        let mut sqs: LegacySqsQueue<String> = LegacySqsQueue::new(cfg.visibility_timeout);
-        if let Some(max) = cfg.max_receive_count {
-            sqs = sqs.with_max_receive_count(max);
-        }
-        let mut asg = AutoScalingGroup::new(cfg.scaling, cfg.instance_type, cfg.spot)
-            .map_err(AtlasError::Cloud)?;
-        let mut busy: HashMap<InstanceId, u64> = HashMap::new();
-        let mut next_epoch: u64 = 1;
-        let mut results: BTreeMap<String, PipelineResult> = BTreeMap::new();
-        let mut completion_order: Vec<String> = Vec::new();
-        let mut interruptions = 0usize;
-        let mut redeliveries = 0u64;
-        let mut timeline = Vec::new();
-        let mut fleet_series = TimeSeries::new();
-        let mut busy_series = TimeSeries::new();
-        let mut instance_serial = 0u64;
-        let mut serials: HashMap<InstanceId, u64> = HashMap::new();
-        let mut injector = FaultInjector::new(cfg.faults.clone().unwrap_or_default());
-        // Telemetry is strictly an observer: fault decisions, scaling and the
-        // event clock never read it, so a disabled recorder changes nothing.
-        let recorder =
-            Arc::new(if cfg.telemetry { Recorder::new() } else { Recorder::disabled() });
-        injector.attach_recorder(Arc::clone(&recorder));
-        asg.attach_recorder(Arc::clone(&recorder));
-        // The monitor watches the stream through the recorder's observer hook;
-        // with telemetry off there is no stream, so no monitor either.
-        let monitor = if cfg.telemetry {
-            cfg.monitor.clone().map(|mc| {
-                let m = Monitor::new(mc);
-                recorder.attach_observer(m.observer());
-                m
-            })
-        } else {
-            None
-        };
-        let campaign_span = recorder.span_start("campaign", SpanId::NONE, 0.0);
-        let mut instance_spans: HashMap<InstanceId, SpanId> = HashMap::new();
-        let mut dl_seen = 0usize;
-        let mut store = ObjectStore::new();
-        // Small sentinel for the index manifest: instances GET it at init, so a
-        // persistent S3 outage can fail a launch. The bulk index transfer time
-        // itself is modeled by `init_secs`, not by moving real bytes.
-        store.put("index/manifest", Bytes::from_static(b"star-index manifest"));
-        let mut duplicate_completions = 0u64;
-        let mut wasted_secs = 0.0f64;
-
-        for a in accessions {
-            sqs.send(a.clone());
-        }
-        events.schedule(SimTime::ZERO, Event::ScaleTick);
-
-        let target = accessions.len();
-        let init = SimDuration::from_secs(cfg.init_secs());
-        // Generous safety valve: every accession can bounce a few times before we
-        // declare the simulation wedged (chaos campaigns bounce more than most).
-        let max_events = 10_000 + 400 * target as u64 + 200_000;
-        let mut n_events = 0u64;
-
-        // An accession is resolved once it completed or dead-lettered without
-        // completing; the campaign runs until every accession is resolved.
-        fn resolved(
-            results: &BTreeMap<String, PipelineResult>,
-            sqs: &LegacySqsQueue<String>,
-        ) -> usize {
-            results.len()
-                + sqs.dead_letters().iter().filter(|a| !results.contains_key(a.as_str())).count()
-        }
-
-        while resolved(&results, &sqs) < target {
-            let Some((now, event)) = events.pop() else {
-                return Err(AtlasError::InvalidParams(
-                    "event queue drained before the campaign completed (simulation bug)".into(),
-                ));
-            };
-            if now.as_secs() > cfg.max_sim_secs {
-                return Err(AtlasError::InvalidParams(format!(
-                    "campaign exceeded max_sim_secs ({}); likely stuck",
-                    cfg.max_sim_secs
-                )));
-            }
-            n_events += 1;
-            if n_events > max_events {
-                return Err(AtlasError::InvalidParams("event budget exceeded (simulation bug)".into()));
-            }
-            injector.set_now(now.as_secs());
-
-            match event {
-                Event::ScaleTick => {
-                    let pending = sqs.pending_count();
-                    let decision = asg.evaluate(pending);
-                    if decision.launch > 0 {
-                        recorder.event(
-                            now.as_secs(),
-                            "scale_out",
-                            vec![
-                                ("launch", JsonValue::from(decision.launch as u64)),
-                                ("pending", JsonValue::from(pending)),
-                            ],
-                        );
-                    }
-                    for _ in 0..decision.launch {
-                        let id = asg.launch(now);
-                        fleet_series.record(now.as_secs(), asg.active_count() as f64);
-                        instance_serial += 1;
-                        serials.insert(id, instance_serial);
-                        let span = recorder.span_start_attrs(
-                            "instance",
-                            campaign_span,
-                            now.as_secs(),
-                            &[
-                                ("instance", id.0.to_string()),
-                                ("itype", cfg.instance_type.name.to_string()),
-                                ("spot", cfg.spot.to_string()),
-                            ],
-                        );
-                        instance_spans.insert(id, span);
-                        // Init starts with the manifest GET; a persistent S3
-                        // failure kills the launch and the ASG replaces the
-                        // instance at a later tick.
-                        match store.get_retrying(
-                            "index/manifest",
-                            &mut injector,
-                            instance_serial,
-                            &cfg.retry,
-                        ) {
-                            Ok((_, d)) => {
-                                events.schedule(now + init + d, Event::InstanceReady(id))
-                            }
-                            Err(_) => {
-                                let _ = asg.terminate(id, now);
-                                if let Some(s) = instance_spans.remove(&id) {
-                                    recorder.span_end(s, now.as_secs());
-                                }
-                                recorder.event(
-                                    now.as_secs(),
-                                    "instance_init_failed",
-                                    vec![("instance", JsonValue::from(id.0))],
-                                );
-                                fleet_series.record(now.as_secs(), asg.active_count() as f64);
-                            }
-                        }
-                        if cfg.spot {
-                            if let Some(t) =
-                                cfg.spot_market.sample_interruption(now, instance_serial)
-                            {
-                                events.schedule(t, Event::Interruption(id));
-                            }
-                            if let Some(t) = injector.burst_interruption(now, instance_serial) {
-                                events.schedule(t, Event::Interruption(id));
-                            }
-                        }
-                    }
-                    for id in decision.terminate {
-                        // Never scale-in a busy worker; it finishes its job first.
-                        if !busy.contains_key(&id) && matches!(asg.terminate(id, now), Ok(true)) {
-                            fleet_series.record(now.as_secs(), asg.active_count() as f64);
-                            if let Some(s) = instance_spans.remove(&id) {
-                                recorder.span_end(s, now.as_secs());
-                            }
-                            recorder.event(
-                                now.as_secs(),
-                                "scale_in",
-                                vec![
-                                    ("instance", JsonValue::from(id.0)),
-                                    ("pending", JsonValue::from(pending)),
-                                ],
-                            );
-                        }
-                    }
-                    timeline.push(FleetSample {
-                        at_secs: now.as_secs(),
-                        active_instances: asg.active_count(),
-                        pending_messages: pending,
-                    });
-                    fleet_series.record(now.as_secs(), asg.active_count() as f64);
-                    busy_series.record(now.as_secs(), busy.len() as f64);
-                    recorder.gauge_set_at(now.as_secs(), "fleet_active", asg.active_count() as f64);
-                    recorder.gauge_set_at(now.as_secs(), "queue_pending", pending as f64);
-                    if resolved(&results, &sqs) < target {
-                        events.schedule(now + cfg.scale_tick, Event::ScaleTick);
-                    }
-                }
-                Event::InstanceReady(id) => {
-                    if let Some(inst) = asg.instance_mut(id) {
-                        if inst.state == InstanceState::Initializing {
-                            inst.mark_running().map_err(AtlasError::Cloud)?;
-                            recorder.event(
-                                now.as_secs(),
-                                "instance_ready",
-                                vec![("instance", JsonValue::from(id.0))],
-                            );
-                            events.schedule(now, Event::Poll(id));
-                        }
-                    }
-                }
-                Event::Poll(id) => {
-                    let alive = asg
-                        .instance_mut(id)
-                        .map(|i| i.state == InstanceState::Running)
-                        .unwrap_or(false);
-                    if !alive || busy.contains_key(&id) {
-                        continue;
-                    }
-                    let serial = serials.get(&id).copied().unwrap_or(0);
-                    let received = injector.with_retry(serial, FaultOp::SqsReceive, &cfg.retry, || {
-                        Ok(sqs.receive(now))
-                    });
-                    let receive_backoff = received.backoff;
-                    let msg = match received.outcome {
-                        Ok(m) => m,
-                        Err(_) => {
-                            // Receive retries exhausted: the worker backs off and
-                            // polls again; no message was consumed.
-                            events.schedule(
-                                now + cfg.poll_interval + receive_backoff,
-                                Event::Poll(id),
-                            );
-                            continue;
-                        }
-                    };
-                    // A receive can tip a message over its allowance into the DLQ.
-                    for a in sqs.dead_letters().iter().skip(dl_seen) {
-                        recorder.event(
-                            now.as_secs(),
-                            "dead_letter",
-                            vec![("accession", JsonValue::from(a.as_str()))],
-                        );
-                        recorder.counter_add("dead_letters", 1);
-                    }
-                    dl_seen = sqs.dead_letters().len();
-                    match msg {
-                        Some((accession, receipt, count)) => {
-                            if count > 1 {
-                                redeliveries += 1;
-                                recorder.counter_add("redeliveries", 1);
-                            } else if let Some(wait) = sqs.queue_wait(receipt) {
-                                // First delivery: submit → first-receive latency.
-                                recorder.event(
-                                    now.as_secs(),
-                                    "queue_wait",
-                                    vec![
-                                        ("accession", JsonValue::from(accession.as_str())),
-                                        ("instance", JsonValue::from(id.0)),
-                                        ("wait_secs", JsonValue::from(wait.as_secs())),
-                                    ],
-                                );
-                                recorder.observe(
-                                    "queue_wait_secs",
-                                    SECS_BUCKETS,
-                                    wait.as_secs(),
-                                );
-                            }
-                            if results.contains_key(&accession) {
-                                // A duplicate delivery of already-finished work:
-                                // acknowledge and poll again immediately.
-                                recorder.event(
-                                    now.as_secs(),
-                                    "duplicate_receive",
-                                    vec![
-                                        ("accession", JsonValue::from(accession.as_str())),
-                                        ("instance", JsonValue::from(id.0)),
-                                    ],
-                                );
-                                let _ = injector
-                                    .with_retry(serial, FaultOp::SqsDelete, &cfg.retry, || {
-                                        sqs.delete(receipt)
-                                    })
-                                    .outcome;
-                                events.schedule(now, Event::Poll(id));
-                                continue;
-                            }
-                            // With a monitor attached the job also reports live
-                            // progress, like STAR's `Log.progress.out`: snapshots
-                            // from the real alignment, timestamped inside the
-                            // modeled align window. Without a monitor no progress
-                            // events exist and the log is byte-identical to a
-                            // monitor-free build.
-                            let (result, history) = if monitor.is_some() {
-                                self.workload.run_accession_with_history(&accession)?
-                            } else {
-                                (self.workload.run_accession(&accession)?, Vec::new())
-                            };
-                            if !history.is_empty() {
-                                emit_progress_events(
-                                    &recorder,
-                                    &accession,
-                                    id,
-                                    now.as_secs(),
-                                    &result,
-                                    &history,
-                                );
-                            }
-                            let duration = result.stage_secs.total().max(0.001);
-                            let epoch = next_epoch;
-                            next_epoch += 1;
-                            busy.insert(id, epoch);
-                            busy_series.record(now.as_secs(), busy.len() as f64);
-                            // A failed or stale lease extension leaves the base
-                            // visibility timeout in force: the message may
-                            // re-deliver mid-job and the duplicate completion is
-                            // absorbed by the results map.
-                            let _ = injector
-                                .with_retry(serial, FaultOp::SqsExtend, &cfg.retry, || {
-                                    sqs.change_visibility(
-                                        receipt,
-                                        now,
-                                        SimDuration::from_secs(duration * cfg.lease_margin),
-                                    )
-                                })
-                                .outcome;
-                            // Duplicate delivery: the broker violates visibility
-                            // and hands this message to a second worker while
-                            // ours is still working on it.
-                            if injector.roll(serial, FaultOp::DuplicateDelivery) {
-                                let _ = sqs.force_visible(receipt);
-                            }
-                            if injector.roll(serial, FaultOp::WorkerCrash) {
-                                // Crash at a deterministic offset inside a
-                                // uniformly chosen pipeline stage.
-                                let stage = ((injector.side_roll(serial, 0xC0DE)
-                                    * StageTimes::N_STAGES as f64)
-                                    as usize)
-                                    .min(StageTimes::N_STAGES - 1);
-                                let offset = (result.stage_secs.prefix_secs(stage)
-                                    + injector.side_roll(serial, 0xC0DF)
-                                        * result.stage_secs.as_array()[stage])
-                                    .clamp(0.0, duration);
-                                events.schedule(
-                                    now + SimDuration::from_secs(offset),
-                                    Event::WorkerCrash {
-                                        instance: id,
-                                        epoch,
-                                        accession: accession.clone(),
-                                        wasted_secs: offset,
-                                    },
-                                );
-                            }
-                            events.schedule(
-                                now + SimDuration::from_secs(duration),
-                                Event::JobDone {
-                                    instance: id,
-                                    epoch,
-                                    accession,
-                                    receipt,
-                                    result: Box::new(result),
-                                },
-                            );
-                        }
-                        None => {
-                            if sqs.pending_count() > 0 {
-                                events.schedule(
-                                    now + cfg.poll_interval + receive_backoff,
-                                    Event::Poll(id),
-                                );
-                            }
-                            // Queue fully drained: stop polling; the ASG will reap us.
-                        }
-                    }
-                }
-                Event::JobDone { instance, epoch, accession, receipt, result } => {
-                    let alive = asg
-                        .instance_mut(instance)
-                        .map(|i| i.state != InstanceState::Terminated)
-                        .unwrap_or(false);
-                    if !alive || busy.get(&instance) != Some(&epoch) {
-                        // The worker died mid-job (spot reclaim): the result is lost
-                        // and the message will re-deliver after its lease expires.
-                        continue;
-                    }
-                    busy.remove(&instance);
-                    busy_series.record(now.as_secs(), busy.len() as f64);
-                    let serial = serials.get(&instance).copied().unwrap_or(0);
-                    let duration = result.stage_secs.total();
-                    // Job spans are emitted retroactively: the job started when the
-                    // message was received, `duration` sim-seconds ago.
-                    let started = now.as_secs() - duration;
-                    let job_parent =
-                        instance_spans.get(&instance).copied().unwrap_or(campaign_span);
-                    let upload = store.put_retrying(
-                        &format!("results/{accession}"),
-                        Bytes::from(accession.as_bytes().to_vec()),
-                        &mut injector,
-                        serial,
-                        &cfg.retry,
-                    );
-                    match upload {
-                        Ok(d) => {
-                            // The lease was sized with margin, so the delete should
-                            // succeed; if it went stale (duplicate delivery, missed
-                            // extension) the message re-delivers and the duplicate
-                            // is absorbed by the results map.
-                            let deleted = injector
-                                .with_retry(serial, FaultOp::SqsDelete, &cfg.retry, || {
-                                    sqs.delete(receipt)
-                                });
-                            if let std::collections::btree_map::Entry::Vacant(slot) =
-                                results.entry(accession.clone())
-                            {
-                                emit_job_spans(
-                                    &recorder, job_parent, &accession, instance, started,
-                                    now.as_secs(), "ok", &result,
-                                );
-                                recorder.counter_add("jobs_completed", 1);
-                                recorder.observe(
-                                    "align_secs_per_accession",
-                                    SECS_BUCKETS,
-                                    result.stage_secs.align_secs,
-                                );
-                                if result.early_stopped() {
-                                    // The decision landed at the end of the (cut
-                                    // short) align stage.
-                                    let decided_at = started
-                                        + result.stage_secs.prefix_secs(2)
-                                        + result.stage_secs.align_secs;
-                                    let mut fields = vec![
-                                        ("accession", JsonValue::from(accession.as_str())),
-                                        ("mapping_rate", JsonValue::from(result.mapping_rate)),
-                                    ];
-                                    fields.extend(result.early_stop.decision_fields());
-                                    recorder.event(decided_at, "early_stop", fields);
-                                    recorder.observe(
-                                        "mapping_rate_at_stop",
-                                        RATE_BUCKETS,
-                                        result.mapping_rate,
-                                    );
-                                }
-                                completion_order.push(accession);
-                                slot.insert(*result);
-                            } else {
-                                emit_job_spans(
-                                    &recorder, job_parent, &accession, instance, started,
-                                    now.as_secs(), "duplicate", &result,
-                                );
-                                duplicate_completions += 1;
-                                wasted_secs += duration;
-                            }
-                            events.schedule(now + d + deleted.backoff, Event::Poll(instance));
-                        }
-                        Err(_) => {
-                            // Result upload exhausted its retries: the job's output
-                            // is lost and the message re-delivers after its lease
-                            // expires, so another worker redoes the work.
-                            emit_job_spans(
-                                &recorder, job_parent, &accession, instance, started,
-                                now.as_secs(), "upload_lost", &result,
-                            );
-                            recorder.event(
-                                now.as_secs(),
-                                "upload_lost",
-                                vec![
-                                    ("accession", JsonValue::from(accession.as_str())),
-                                    ("instance", JsonValue::from(instance.0)),
-                                ],
-                            );
-                            wasted_secs += duration;
-                            events.schedule(now + cfg.poll_interval, Event::Poll(instance));
-                        }
-                    }
-                }
-                Event::WorkerCrash { instance, epoch, accession, wasted_secs: w } => {
-                    // The worker process dies mid-job (the instance survives and
-                    // re-polls); the in-flight message re-delivers after its lease
-                    // expires. A stale epoch means the job already finished.
-                    if busy.get(&instance) == Some(&epoch) {
-                        busy.remove(&instance);
-                        busy_series.record(now.as_secs(), busy.len() as f64);
-                        let parent =
-                            instance_spans.get(&instance).copied().unwrap_or(campaign_span);
-                        recorder.span_closed(
-                            "job",
-                            parent,
-                            now.as_secs() - w,
-                            now.as_secs(),
-                            &[
-                                ("accession", accession.clone()),
-                                ("outcome", "crashed".to_string()),
-                            ],
-                        );
-                        recorder.event(
-                            now.as_secs(),
-                            "worker_crash",
-                            vec![
-                                ("accession", JsonValue::from(accession.as_str())),
-                                ("instance", JsonValue::from(instance.0)),
-                                ("wasted_secs", JsonValue::from(w)),
-                            ],
-                        );
-                        wasted_secs += w;
-                        events.schedule(now + cfg.poll_interval, Event::Poll(instance));
-                    }
-                }
-                Event::Interruption(id) => {
-                    if matches!(asg.terminate(id, now), Ok(true)) {
-                        interruptions += 1;
-                        let was_busy = busy.remove(&id).is_some();
-                        fleet_series.record(now.as_secs(), asg.active_count() as f64);
-                        busy_series.record(now.as_secs(), busy.len() as f64);
-                        if let Some(s) = instance_spans.remove(&id) {
-                            recorder.span_end(s, now.as_secs());
-                        }
-                        recorder.event(
-                            now.as_secs(),
-                            "spot_interruption",
-                            vec![
-                                ("instance", JsonValue::from(id.0)),
-                                ("was_busy", JsonValue::from(was_busy)),
-                            ],
-                        );
-                        recorder.counter_add("spot_interruptions", 1);
-                    }
-                }
-            }
-        }
-
-        let end = events.now();
-        // Settle: terminate survivors and charge everyone.
-        let mut cost =
-            if cfg.spot { CostTracker::with_spot(cfg.spot_market) } else { CostTracker::on_demand() };
-        let instances_launched = asg.instances().len();
-        let ids: Vec<InstanceId> = asg.instances().iter().map(|i| i.id).collect();
-        for id in ids {
-            let _ = asg.terminate(id, end);
-            if let Some(s) = instance_spans.remove(&id) {
-                recorder.span_end(s, end.as_secs());
-            }
-        }
-        for inst in asg.instances() {
-            cost.charge(inst, end);
-        }
-        cost.attribute_waste(cfg.instance_type, cfg.spot, wasted_secs);
-
-        // At-least-once accounting: every accession is completed or dead-lettered.
-        let dead_lettered: Vec<String> = sqs
-            .dead_letters()
-            .iter()
-            .filter(|a| !results.contains_key(a.as_str()))
-            .cloned()
-            .collect();
-        for a in accessions {
-            if !results.contains_key(a) && !dead_lettered.iter().any(|d| d == a) {
-                return Err(AtlasError::Conservation(format!(
-                    "accession {a} neither completed nor dead-lettered"
-                )));
-            }
-        }
-        if results.len() + dead_lettered.len() != target {
-            return Err(AtlasError::Conservation(format!(
-                "{} completed + {} dead-lettered != {} accessions",
-                results.len(),
-                dead_lettered.len(),
-                target
-            )));
-        }
-
-        let fleet_instance_secs = fleet_series.integral_until(end.as_secs());
-        let busy_instance_secs = busy_series.integral_until(end.as_secs());
-        let mean_fleet_size = fleet_series.time_weighted_mean(end.as_secs());
-        let busy_fraction =
-            if fleet_instance_secs > 0.0 { busy_instance_secs / fleet_instance_secs } else { 0.0 };
-
-        let mut savings = SavingsSummary::default();
-        let ordered: Vec<PipelineResult> = completion_order
-            .iter()
-            .map(|a| results.get(a).expect("recorded").clone())
-            .collect();
-        for r in &ordered {
-            savings.add(&r.early_stop);
-        }
-        let normalized = build_normalized(&ordered);
-        if let Some(n) = &normalized {
-            let attrs = n.span_attrs();
-            recorder.span_closed("deseq", campaign_span, end.as_secs(), end.as_secs(), &attrs);
-            recorder.event(
-                end.as_secs(),
-                "deseq_normalized",
-                attrs.iter().map(|(k, v)| (*k, JsonValue::from(v.as_str()))).collect(),
-            );
-        }
-        recorder.span_end(campaign_span, end.as_secs());
-        let campaign_telemetry = cfg.telemetry.then(|| telemetry::summarize(&recorder));
-
-        Ok(CampaignReport {
-            completed: ordered,
-            makespan: end - SimTime::ZERO,
-            cost: cost.report().clone(),
-            instances_launched,
-            interruptions,
-            redeliveries,
-            savings,
-            normalized,
-            init_secs_per_instance: cfg.init_secs(),
-            fleet_timeline: timeline,
-            mean_fleet_size,
-            busy_fraction,
-            dead_lettered,
-            fault_counters: injector.tallies().clone(),
-            duplicate_completions,
-            wasted_compute_secs: wasted_secs,
-            telemetry: campaign_telemetry,
-            alerts: monitor.map(|m| m.alerts()).unwrap_or_default(),
-            sim_events: n_events,
-            // The SLO engine requires the event kernel (validated); the frozen
-            // oracle never carries one.
-            slo: None,
-        })
     }
 }
 

@@ -9,10 +9,10 @@ use genomics::{DnaSeq, LibraryType, ReadSimulator, SimulatorParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use star_aligner::align::Aligner;
-use star_aligner::mmp::mmp_search;
+use star_aligner::mmp::{mmp_search, mmp_search_packed};
 use star_aligner::sa::SuffixArray;
-use star_aligner::seed::collect_seeds;
-use star_aligner::AlignParams;
+use star_aligner::seed::{collect_seeds_packed, SeedProbeScratch};
+use star_aligner::{AlignParams, Packed2};
 
 fn bench_suffix_array_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("suffix_array_build");
@@ -54,14 +54,63 @@ fn bench_seed_collection(c: &mut Criterion) {
         3,
     )
     .expect("simulator");
-    let reads: Vec<Vec<u8>> =
-        sim.simulate(512, "S").into_iter().map(|r| r.fastq.seq.codes().to_vec()).collect();
+    // Hot-path shape: reads packed once, seed buffer and probe scratch reused —
+    // exactly how the aligner drives seed collection per read.
+    let reads: Vec<Packed2> = sim
+        .simulate(512, "S")
+        .into_iter()
+        .map(|r| Packed2::from_codes(r.fastq.seq.codes()))
+        .collect();
     let params = AlignParams::default();
     let mut group = c.benchmark_group("seed_collection");
     group.throughput(Throughput::Elements(reads.len() as u64));
     for (label, index) in [("release_108", &sub.index_108), ("release_111", &sub.index_111)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), index, |b, index| {
-            b.iter(|| reads.iter().map(|r| collect_seeds(index, r, &params).len()).sum::<usize>());
+            let mut seeds = Vec::new();
+            let mut probe = SeedProbeScratch::default();
+            b.iter(|| {
+                reads
+                    .iter()
+                    .map(|q| {
+                        collect_seeds_packed(index, &[], None, q, &params, &mut seeds, &mut probe);
+                        seeds.len()
+                    })
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_seed_lookup(c: &mut Criterion) {
+    // The SNAP-style layer's pitch: one hash probe replaces `s` rounds of
+    // suffix-array refinement at every seeding position. Same genomic 100-mers
+    // as the mmp_search group, packed once outside the loop (the hot path keeps
+    // reads packed), so the cells isolate the starting-layer cost alone.
+    let sub = Substrate::build(ensembl_params(Scale::Test)).expect("substrate");
+    let index = &sub.index_111;
+    let chrom = sub.asm_111.contig("1").expect("chromosome 1");
+    let queries: Vec<Packed2> = (0..512)
+        .map(|i| {
+            let at = i * 97 % (chrom.len() - 100);
+            Packed2::from_codes(chrom.seq.subseq(at, at + 100).codes())
+        })
+        .collect();
+    let hash = index.hash_seed(16);
+    // Premise outside the timed loop: the layers must agree on every MMP.
+    for q in &queries {
+        assert_eq!(
+            mmp_search_packed(index, &[], Some(hash), q, 0).len,
+            mmp_search_packed(index, &[], None, q, 0).len,
+        );
+    }
+    let mut group = c.benchmark_group("hash_seed_lookup");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for (label, hash) in [("sa_path", None), ("hash_s16", Some(hash))] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &hash, |b, hash| {
+            b.iter(|| {
+                queries.iter().map(|q| mmp_search_packed(index, &[], *hash, q, 0).len).sum::<usize>()
+            });
         });
     }
     group.finish();
@@ -97,6 +146,7 @@ criterion_group!(
     bench_suffix_array_build,
     bench_mmp_search,
     bench_seed_collection,
+    bench_hash_seed_lookup,
     bench_align_by_read_class
 );
 criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! Fleet-scale campaign bench — the payoff of the discrete-event kernel.
 //!
-//! The legacy loop walked every instance and message on every poll tick, so
-//! campaign cost grew with `ticks × fleet` regardless of how much actually
-//! happened. The kernel dispatches only scheduled events, which is what makes a
-//! 10k-accession / 1250-instance-ceiling campaign (two orders of magnitude past
-//! the old fixtures) a seconds-scale bench. A 1k-accession pair runs the same
-//! modeled campaign through both engines to quantify the gap directly; the
-//! differential suite (devent_diff.rs) proves the reports are byte-identical,
-//! so the delta is pure bookkeeping cost.
+//! The deleted legacy loop walked every instance and message on every poll
+//! tick, so campaign cost grew with `ticks × fleet` regardless of how much
+//! actually happened. The kernel dispatches only scheduled events, which is
+//! what makes a 10k-accession / 1250-instance-ceiling campaign (two orders of
+//! magnitude past the old fixtures) a seconds-scale bench. A 1k-accession /
+//! 128-ceiling cell tracks the mid-scale regime; the replay suite
+//! (devent_diff.rs) proves reports are byte-identical run to run, so any
+//! timing change here is pure bookkeeping cost.
 //!
 //! The workload is modeled (`ModeledWorkload`): per-accession results are a pure
 //! function of `(seed, accession)`, so every iteration replays the exact same
@@ -82,24 +82,19 @@ fn bench_fleet(c: &mut Criterion) {
         },
     );
 
-    // Engine gap at a size the legacy loop can still stomach: same modeled
-    // campaign, 1k accessions, 128-instance ceiling, both engines.
+    // Mid-scale cell: 1k accessions, 128-instance ceiling — the size the old
+    // legacy loop topped out at, kept for continuity with earlier baselines.
     let n_small = 1_000usize;
     let small_ids = ModeledWorkload::accessions(n_small);
     group.throughput(Throughput::Elements(n_small as u64));
-    #[allow(deprecated)]
-    let engines =
-        [("kernel_1k_x128", CampaignEngine::EventKernel), ("legacy_1k_x128", CampaignEngine::LegacyTick)];
-    for (name, engine) in engines {
-        let cfg = fleet_config(engine, 128);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| {
-                let r = run_campaign(cfg, &small_ids);
-                assert_eq!(r.completed.len() + r.dead_lettered.len(), n_small);
-                r.summary_digest()
-            });
+    let cfg = fleet_config(CampaignEngine::EventKernel, 128);
+    group.bench_with_input(BenchmarkId::from_parameter("kernel_1k_x128"), &cfg, |b, cfg| {
+        b.iter(|| {
+            let r = run_campaign(cfg, &small_ids);
+            assert_eq!(r.completed.len() + r.dead_lettered.len(), n_small);
+            r.summary_digest()
         });
-    }
+    });
     group.finish();
 }
 

@@ -7,13 +7,12 @@
 //! whole simulation *replayable* — feeding a recorded trace back through a fresh
 //! kernel must reproduce the exact pop sequence, byte for byte.
 //!
-//! Relationship to [`crate::event::EventQueue`]: the `EventQueue` is the original
-//! minimal heap the per-tick orchestration loop was built on and is kept as the
-//! legacy engine's driver (and as a differential oracle). The kernel adds the
-//! pieces a real discrete-event core needs — cancellable timers, monotone-clock
-//! enforcement, stats, trace/replay — while preserving the identical
-//! `(time, sequence)` ordering contract, which is what lets the differential
-//! harness in `atlas` prove the two engines equivalent byte for byte.
+//! Relationship to [`crate::event::EventQueue`]: the `EventQueue` is the
+//! original minimal heap the (since-deleted) per-tick orchestration loop was
+//! built on, kept as a freestanding utility. The kernel adds the pieces a real
+//! discrete-event core needs — cancellable timers, monotone-clock enforcement,
+//! stats, trace/replay — while preserving the identical `(time, sequence)`
+//! ordering contract the campaign digests were frozen against.
 //!
 //! Determinism contract:
 //!

@@ -63,7 +63,6 @@ impl FaultCounters {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::time::SimTime;
 
     #[test]

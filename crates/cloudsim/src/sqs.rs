@@ -24,10 +24,12 @@
 //! 30-message one. The map is lookup-only (never iterated), so hashing cannot
 //! perturb delivery order.
 //!
-//! The original scan-based implementation is preserved verbatim as
-//! [`legacy::LegacySqsQueue`]: it drives the legacy orchestration loop and serves
-//! as the differential oracle the property tests pin this implementation against,
-//! operation for operation. It is slated for removal with the legacy loop.
+//! This implementation replaced an earlier full-scan queue after the property
+//! suites proved the two observationally identical, operation for operation;
+//! the scan version (and the per-tick orchestration loop it drove) has since
+//! been deleted. The semantics the oracle pinned — delivery order, receipt
+//! numbering, dead-letter order — are now pinned directly by the reference
+//! model in the queue property tests.
 
 use crate::time::{SimDuration, SimTime};
 use crate::CloudError;
@@ -296,9 +298,9 @@ impl<M: Clone> SqsQueue<M> {
 
     /// Fire the visibility expiries that have come due: each expired message's
     /// receipt goes stale and the message is re-queued. Messages expiring in the
-    /// same reconciliation batch re-queue in message-index order — exactly the
-    /// order the legacy full-scan produced — so the two implementations are
-    /// delivery-schedule-identical.
+    /// same reconciliation batch re-queue in message-index order — the order a
+    /// full scan over the message store would produce, which is the delivery
+    /// schedule the campaign digests were frozen against.
     fn reconcile(&mut self, now: SimTime) {
         if self.expiries.peek().is_none_or(|&Reverse((t, _))| t > now) {
             return;
@@ -331,233 +333,6 @@ impl<M: Clone> SqsQueue<M> {
         }
     }
 }
-
-pub mod legacy {
-    //! The original scan-based queue, preserved verbatim as a differential oracle.
-    //!
-    //! [`LegacySqsQueue`] reconciles visibility by scanning the entire message
-    //! store on every receive and resolves receipts by linear search — O(n) per
-    //! operation, which is what capped campaigns at tens of accessions. It remains
-    //! only to (a) drive the legacy per-tick orchestration loop and (b) oracle the
-    //! differential property tests that pin [`super::SqsQueue`]'s semantics. It
-    //! will be deleted together with the legacy loop once the discrete-event
-    //! kernel is the sole engine.
-    #![allow(deprecated)] // the oracle may use itself without tripping its own notice
-
-    use crate::time::{SimDuration, SimTime};
-    use crate::CloudError;
-    use std::collections::VecDeque;
-
-    pub use super::ReceiptHandle;
-
-    #[derive(Clone, Debug)]
-    struct StoredMessage<M> {
-        body: M,
-        receive_count: u32,
-        invisible_until: Option<SimTime>,
-        current_receipt: Option<ReceiptHandle>,
-        deleted: bool,
-        sent_at: SimTime,
-        first_received_at: Option<SimTime>,
-    }
-
-    /// The scan-based queue (see the module docs). API-identical to
-    /// [`super::SqsQueue`].
-    #[deprecated(
-        note = "differential oracle only — use `cloudsim::SqsQueue`; scheduled for \
-                deletion once the event kernel has soaked (ROADMAP item 1)"
-    )]
-    #[derive(Debug)]
-    pub struct LegacySqsQueue<M> {
-        messages: Vec<StoredMessage<M>>,
-        visible: VecDeque<usize>,
-        default_visibility: SimDuration,
-        next_receipt: u64,
-        max_receive_count: Option<u32>,
-        dead_letters: Vec<M>,
-    }
-
-    impl<M: Clone> LegacySqsQueue<M> {
-        /// An empty queue with the given default visibility timeout.
-        pub fn new(default_visibility: SimDuration) -> LegacySqsQueue<M> {
-            LegacySqsQueue {
-                messages: Vec::new(),
-                visible: VecDeque::new(),
-                default_visibility,
-                next_receipt: 1,
-                max_receive_count: None,
-                dead_letters: Vec::new(),
-            }
-        }
-
-        /// Attach a dead-letter policy (AWS redrive semantics).
-        pub fn with_max_receive_count(mut self, n: u32) -> LegacySqsQueue<M> {
-            assert!(n >= 1, "max_receive_count must be >= 1");
-            self.max_receive_count = Some(n);
-            self
-        }
-
-        /// Send a message at campaign start (`t = 0`).
-        pub fn send(&mut self, body: M) {
-            self.send_at(body, SimTime::ZERO);
-        }
-
-        /// Send a message at time `now`.
-        pub fn send_at(&mut self, body: M, now: SimTime) {
-            let idx = self.messages.len();
-            self.messages.push(StoredMessage {
-                body,
-                receive_count: 0,
-                invisible_until: None,
-                current_receipt: None,
-                deleted: false,
-                sent_at: now,
-                first_received_at: None,
-            });
-            self.visible.push_back(idx);
-        }
-
-        /// Try to receive one message at time `now`.
-        pub fn receive(&mut self, now: SimTime) -> Option<(M, ReceiptHandle, u32)> {
-            self.reconcile(now);
-            while let Some(idx) = self.visible.pop_front() {
-                let msg = &mut self.messages[idx];
-                if msg.deleted {
-                    continue;
-                }
-                if let Some(t) = msg.invisible_until {
-                    if t > now {
-                        continue;
-                    }
-                }
-                if let Some(max) = self.max_receive_count {
-                    if msg.receive_count >= max {
-                        msg.deleted = true;
-                        msg.invisible_until = None;
-                        msg.current_receipt = None;
-                        self.dead_letters.push(msg.body.clone());
-                        continue;
-                    }
-                }
-                msg.receive_count += 1;
-                if msg.first_received_at.is_none() {
-                    msg.first_received_at = Some(now);
-                }
-                msg.invisible_until = Some(now + self.default_visibility);
-                let receipt = ReceiptHandle(self.next_receipt);
-                self.next_receipt += 1;
-                msg.current_receipt = Some(receipt);
-                return Some((msg.body.clone(), receipt, msg.receive_count));
-            }
-            None
-        }
-
-        /// Delete a message by receipt.
-        pub fn delete(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
-            let msg = self
-                .messages
-                .iter_mut()
-                .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
-                .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
-            msg.deleted = true;
-            msg.current_receipt = None;
-            Ok(())
-        }
-
-        /// Extend (or shrink) the visibility of an in-flight message.
-        pub fn change_visibility(
-            &mut self,
-            receipt: ReceiptHandle,
-            now: SimTime,
-            timeout: SimDuration,
-        ) -> Result<(), CloudError> {
-            let msg = self
-                .messages
-                .iter_mut()
-                .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
-                .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
-            msg.invisible_until = Some(now + timeout);
-            Ok(())
-        }
-
-        /// Messages currently visible (deliverable) at `now`.
-        pub fn visible_count(&mut self, now: SimTime) -> usize {
-            self.reconcile(now);
-            self.visible
-                .iter()
-                .filter(|&&i| {
-                    let m = &self.messages[i];
-                    !m.deleted && m.invisible_until.is_none_or(|t| t <= now)
-                })
-                .count()
-        }
-
-        /// Messages in flight at `now`.
-        pub fn in_flight_count(&self, now: SimTime) -> usize {
-            self.messages
-                .iter()
-                .filter(|m| !m.deleted && m.invisible_until.is_some_and(|t| t > now))
-                .count()
-        }
-
-        /// Total undeleted messages (visible + in flight). O(n).
-        pub fn pending_count(&self) -> usize {
-            self.messages.iter().filter(|m| !m.deleted).count()
-        }
-
-        /// Queue wait of the message currently held under `receipt`.
-        pub fn queue_wait(&self, receipt: ReceiptHandle) -> Option<SimDuration> {
-            self.messages
-                .iter()
-                .find(|m| m.current_receipt == Some(receipt) && !m.deleted)
-                .and_then(|m| m.first_received_at.map(|t| t - m.sent_at))
-        }
-
-        /// Bodies that were dead-lettered, in DLQ arrival order.
-        pub fn dead_letters(&self) -> &[M] {
-            &self.dead_letters
-        }
-
-        /// Number of dead-lettered messages.
-        pub fn dead_letter_count(&self) -> usize {
-            self.dead_letters.len()
-        }
-
-        /// Force an in-flight message back to visible without invalidating the
-        /// receipt (duplicate delivery).
-        pub fn force_visible(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
-            let idx = self
-                .messages
-                .iter()
-                .position(|m| m.current_receipt == Some(receipt) && !m.deleted)
-                .ok_or_else(|| CloudError::StaleReceipt(format!("{receipt:?}")))?;
-            self.messages[idx].invisible_until = None;
-            if !self.visible.contains(&idx) {
-                self.visible.push_back(idx);
-            }
-            Ok(())
-        }
-
-        /// Re-queue messages whose visibility timeout expired (full scan).
-        fn reconcile(&mut self, now: SimTime) {
-            for (idx, msg) in self.messages.iter_mut().enumerate() {
-                if msg.deleted {
-                    continue;
-                }
-                if let Some(t) = msg.invisible_until {
-                    if t <= now {
-                        msg.invisible_until = None;
-                        msg.current_receipt = None;
-                        if !self.visible.contains(&idx) {
-                            self.visible.push_back(idx);
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,7 +491,7 @@ mod tests {
         // force_visible puts the message back in the deque while its consumer
         // still holds the receipt; a lease extension then re-hides the *queued*
         // message. The delivery attempt must skip it and the extended lease's
-        // expiry must resurface it — the exact dance the legacy scan performed.
+        // expiry must resurface it.
         let mut q = queue();
         q.send("a".into());
         let (_, r, _) = q.receive(t(0.0)).unwrap();

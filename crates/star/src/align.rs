@@ -7,11 +7,12 @@
 //! mapped-to-too-many-loci, or unmapped.
 
 use crate::extend::{extend_chain_into, WindowAlignment};
+use crate::hashseed::HashSeedIndex;
 use crate::index::StarIndex;
 use crate::params::AlignParams;
 use crate::prefix::PrefixTable;
 use crate::scratch::{with_thread_scratch, AlignScratch, CandSet, ScratchCore};
-use crate::seed::collect_seeds_with;
+use crate::seed::collect_seeds_packed;
 use crate::sjdb::SpliceClass;
 use crate::stitch::best_chains_into;
 use genomics::{DnaSeq, FastqRecord};
@@ -239,6 +240,10 @@ pub struct Aligner<'i> {
     /// Deeper runtime-only prefix tables cached on the index (deepest first);
     /// never serialized, never change search results (see [`PrefixTable::deepen`]).
     deep_prefix: &'i [PrefixTable],
+    /// SNAP-style hash seeding table, present when
+    /// [`AlignParams::use_hash_seed`] is set; cached on the index like the deep
+    /// prefix tables and equally invisible in the results.
+    hash_seed: Option<&'i HashSeedIndex>,
 }
 
 impl<'i> Aligner<'i> {
@@ -247,7 +252,8 @@ impl<'i> Aligner<'i> {
         params.validate().expect("invalid alignment parameters");
         let contig_names =
             index.genome().spans().iter().map(|s| Arc::from(s.name.as_str())).collect();
-        Aligner { index, params, contig_names, deep_prefix: index.deep_prefix() }
+        let hash_seed = params.use_hash_seed.then(|| index.hash_seed(params.hash_seed_len));
+        Aligner { index, params, contig_names, deep_prefix: index.deep_prefix(), hash_seed }
     }
 
     /// The parameters in use.
@@ -296,13 +302,23 @@ impl<'i> Aligner<'i> {
             return work;
         }
         let genome = self.index.genome();
-        let ScratchCore { rc, seeds, stitch, chains } = core;
+        let ScratchCore { rc, fwd, rcp, seeds, probe, stitch, chains } = core;
         rc.clear();
         rc.extend(seq.codes().iter().rev().map(|&c| 3 - c));
+        fwd.pack_codes(seq.codes());
+        rcp.pack_codes(rc);
         let timer = PhaseTimer::new(self.params.measure_phase_nanos);
-        for (is_rc, codes) in [(false, seq.codes()), (true, &rc[..])] {
+        for (is_rc, read) in [(false, &*fwd), (true, &*rcp)] {
             let t = timer.start();
-            collect_seeds_with(self.index, self.deep_prefix, codes, &self.params, seeds);
+            collect_seeds_packed(
+                self.index,
+                self.deep_prefix,
+                self.hash_seed,
+                read,
+                &self.params,
+                seeds,
+                probe,
+            );
             timer.stop(t, &mut work.seed_nanos);
             work.seed_units += seeds.len() as u64;
             let t = timer.start();
@@ -319,7 +335,7 @@ impl<'i> Aligner<'i> {
                 }
                 work.extend_units += 1;
                 let wa = out.slot(is_rc);
-                if extend_chain_into(chain, codes, genome, self.index.sjdb(), &self.params, wa) {
+                if extend_chain_into(chain, read, genome, self.index.sjdb(), &self.params, wa) {
                     out.commit();
                 }
             }

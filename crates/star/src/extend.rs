@@ -10,9 +10,17 @@
 //!    prefix that maximizes local score (match +1, mismatch −penalty); the rest is
 //!    soft-clipped.
 //! 3. **Scoring** — matched bases minus mismatch and splice penalties.
+//!
+//! The production path ([`extend_chain_into`]) is bit-parallel over the 2-bit packed
+//! read and genome: end extensions process mismatch runs via 32-base
+//! [`mismatch_mask`] words (the best prefix always ends a match run, because score
+//! strictly increases inside one), and gap/splice mismatch counting is popcount over
+//! the same masks. The original per-base loop is kept verbatim as
+//! [`extend_chain_scalar`], the differential oracle the property suites pin the
+//! bit-parallel path against — both must produce bit-equal scores and CIGARs.
 
 use crate::align::CigarOp;
-use crate::genome::PackedGenome;
+use crate::genome::{count_mismatches, mismatch_mask, Packed2, PackedGenome, BASES_PER_WORD};
 use crate::params::AlignParams;
 use crate::sjdb::{SpliceClass, SpliceJunctionDb};
 use crate::stitch::Chain;
@@ -75,7 +83,8 @@ impl WindowAlignment {
 ///
 /// Returns `None` for chains that violate the substitution-only invariants (callers
 /// filter these; they can only arise from pathological seed sets). Convenience
-/// wrapper over [`extend_chain_into`] for callers without a scratch slot.
+/// wrapper that packs the read; the hot path keeps reads packed and calls
+/// [`extend_chain_into`] with a pooled slot.
 pub fn extend_chain(
     chain: &Chain,
     read_codes: &[u8],
@@ -84,15 +93,140 @@ pub fn extend_chain(
     params: &AlignParams,
 ) -> Option<WindowAlignment> {
     let mut out = WindowAlignment::empty();
-    extend_chain_into(chain, read_codes, genome, sjdb, params, &mut out).then_some(out)
+    extend_chain_into(chain, &Packed2::from_codes(read_codes), genome, sjdb, params, &mut out)
+        .then_some(out)
+}
+
+/// Best score-maximal extension scanning *forward*: read bases `rstart..rstart+room`
+/// against genome `gstart..gstart+room`. Returns `(best_ext, best_mm)` — the scalar
+/// loop's first-argmax prefix and its mismatch count.
+///
+/// Bit-parallel run processing: within a run of matches the score strictly
+/// increases, so the running best only ever lands on a run end; walking the
+/// mismatch mask run by run reproduces the per-base loop bit-exactly (for the
+/// non-negative mismatch penalties the parameter validation admits).
+fn best_ext_fwd(
+    read: &Packed2,
+    rstart: usize,
+    seq: &Packed2,
+    gstart: usize,
+    room: usize,
+    penalty: i32,
+) -> (usize, u32) {
+    debug_assert!(penalty >= 0, "negative mismatch penalty breaks run-end argmax");
+    let mut score = 0i32;
+    let mut best_score = 0i32;
+    let mut mm = 0u32;
+    let mut best_mm = 0u32;
+    let mut best_ext = 0usize;
+    let mut done = 0usize; // bases fully processed so far
+    let mut prev_n = 0usize; // processed count at the last run boundary
+    while done < room {
+        let block = (room - done).min(BASES_PER_WORD);
+        let mut x = mismatch_mask(read.word_from(rstart + done), seq.word_from(gstart + done));
+        if block < BASES_PER_WORD {
+            x &= (1u64 << (block << 1)) - 1;
+        }
+        while x != 0 {
+            let lane = (x.trailing_zeros() >> 1) as usize;
+            let n_mm = done + lane + 1; // processed count after this mismatch base
+            let run = n_mm - 1 - prev_n;
+            if run > 0 {
+                score += run as i32;
+                if score > best_score {
+                    best_score = score;
+                    best_ext = prev_n + run;
+                    best_mm = mm;
+                }
+            }
+            score -= penalty;
+            mm += 1;
+            prev_n = n_mm;
+            x &= x - 1;
+        }
+        done += block;
+        let run = done - prev_n;
+        if run > 0 {
+            score += run as i32;
+            if score > best_score {
+                best_score = score;
+                best_ext = prev_n + run;
+                best_mm = mm;
+            }
+            prev_n = done;
+        }
+    }
+    (best_ext, best_mm)
+}
+
+/// [`best_ext_fwd`] scanning *backward*: extension `i` compares read `rpos - i`
+/// against genome `gpos - i`, for `i` in `1..=room`.
+fn best_ext_back(
+    read: &Packed2,
+    rpos: usize,
+    seq: &Packed2,
+    gpos: usize,
+    room: usize,
+    penalty: i32,
+) -> (usize, u32) {
+    debug_assert!(penalty >= 0, "negative mismatch penalty breaks run-end argmax");
+    let mut score = 0i32;
+    let mut best_score = 0i32;
+    let mut mm = 0u32;
+    let mut best_mm = 0u32;
+    let mut best_ext = 0usize;
+    let mut done = 0usize;
+    while done < room {
+        let block = (room - done).min(BASES_PER_WORD);
+        // Bases i = done+1 ..= done+block live in the word starting at
+        // rpos - done - block; lane L holds i = done + block - L, so the *highest*
+        // set mask bit is the *next* mismatch in scan order.
+        let a = read.word_from(rpos - done - block);
+        let b = seq.word_from(gpos - done - block);
+        let mut x = mismatch_mask(a, b);
+        if block < BASES_PER_WORD {
+            x &= (1u64 << (block << 1)) - 1;
+        }
+        let mut prev_i = done;
+        while x != 0 {
+            let p = 63 - x.leading_zeros();
+            let lane = (p >> 1) as usize;
+            let i_mm = done + block - lane;
+            let run = i_mm - 1 - prev_i;
+            if run > 0 {
+                score += run as i32;
+                if score > best_score {
+                    best_score = score;
+                    best_ext = prev_i + run;
+                    best_mm = mm;
+                }
+            }
+            score -= penalty;
+            mm += 1;
+            prev_i = i_mm;
+            x ^= 1u64 << p;
+        }
+        done += block;
+        let run = done - prev_i;
+        if run > 0 {
+            score += run as i32;
+            if score > best_score {
+                best_score = score;
+                best_ext = prev_i + run;
+                best_mm = mm;
+            }
+        }
+    }
+    (best_ext, best_mm)
 }
 
 /// Extend `chain` into a caller-provided (typically pooled) alignment slot. `out`
 /// must be reset; on `false` its contents are unspecified. Allocation-free except
-/// for CIGAR/junction growth beyond `out`'s retained capacity.
+/// for CIGAR/junction growth beyond `out`'s retained capacity. Bit-identical to
+/// [`extend_chain_scalar`] by construction (and by the property suites).
 pub(crate) fn extend_chain_into(
     chain: &Chain,
-    read_codes: &[u8],
+    read: &Packed2,
     genome: &PackedGenome,
     sjdb: &SpliceJunctionDb,
     params: &AlignParams,
@@ -102,8 +236,8 @@ pub(crate) fn extend_chain_into(
     if seeds.is_empty() {
         return false;
     }
-    let codes = genome.codes();
-    let read_len = read_codes.len();
+    let seq = genome.seq();
+    let read_len = read.len();
 
     let mut aligned = 0u32;
     let mut mismatches = 0u32;
@@ -119,31 +253,15 @@ pub(crate) fn extend_chain_into(
     // Walk outward while in the same contig; keep the score-maximal prefix.
     let contig_start = genome.contig_of(first.gpos).start;
     let left_room = left_room.min((first.gpos - contig_start) as usize);
-    let mut best_ext = 0usize;
-    {
-        let mut score = 0i32;
-        let mut best_score = 0i32;
-        // Mismatches seen so far / at the best prefix: a running counter recorded
-        // whenever the best extension advances replaces the old position list.
-        let mut mm = 0u32;
-        let mut best_mm = 0u32;
-        for i in 1..=left_room {
-            let r = read_codes[first.read_pos as usize - i];
-            let g = codes[first.gpos as usize - i];
-            if r == g {
-                score += 1;
-            } else {
-                score -= params.mismatch_penalty;
-                mm += 1;
-            }
-            if score > best_score {
-                best_score = score;
-                best_ext = i;
-                best_mm = mm;
-            }
-        }
-        mismatches += best_mm;
-    }
+    let (best_ext, best_mm) = best_ext_back(
+        read,
+        first.read_pos as usize,
+        seq,
+        first.gpos as usize,
+        left_room,
+        params.mismatch_penalty,
+    );
+    mismatches += best_mm;
     let gstart = first.gpos - best_ext as u64;
     let left_clip = first.read_pos as usize - best_ext;
     if left_clip > 0 {
@@ -163,14 +281,9 @@ pub(crate) fn extend_chain_into(
             return false; // would need an insertion; not representable
         }
         if genome_gap == read_gap {
-            // Mismatch run: compare base by base.
-            for i in 0..read_gap {
-                let r = read_codes[a.read_end() as usize + i];
-                let g = codes[a.gend() as usize + i];
-                if r != g {
-                    mismatches += 1;
-                }
-            }
+            // Mismatch run: one popcount pass over the gap.
+            mismatches +=
+                count_mismatches(read, a.read_end() as usize, seq, a.gend() as usize, read_gap);
             aligned += read_gap as u32;
             m_run += read_gap as i64;
         } else {
@@ -182,9 +295,8 @@ pub(crate) fn extend_chain_into(
             if intron_len as u64 > params.max_intron_len {
                 return false;
             }
-            let (split, mm, class) = best_split(
-                read_codes, codes, genome, sjdb, a, b, read_gap, intron_len, m_run - 1,
-            );
+            let (split, mm, class) =
+                best_split(read, seq, genome, sjdb, a, b, read_gap, intron_len, m_run - 1);
             mismatches += mm;
             aligned += read_gap as u32;
             m_run += split;
@@ -209,30 +321,16 @@ pub(crate) fn extend_chain_into(
     let contig_end = genome.contig_of(last.gend().saturating_sub(1).max(last.gpos)).end();
     let right_room = (read_len - last.read_end() as usize)
         .min((contig_end - last.gend()) as usize)
-        .min(codes.len() - last.gend() as usize);
-    let mut best_ext_r = 0usize;
-    {
-        let mut score = 0i32;
-        let mut best_score = 0i32;
-        let mut mm = 0u32;
-        let mut best_mm = 0u32;
-        for i in 0..right_room {
-            let r = read_codes[last.read_end() as usize + i];
-            let g = codes[last.gend() as usize + i];
-            if r == g {
-                score += 1;
-            } else {
-                score -= params.mismatch_penalty;
-                mm += 1;
-            }
-            if score > best_score {
-                best_score = score;
-                best_ext_r = i + 1;
-                best_mm = mm;
-            }
-        }
-        mismatches += best_mm;
-    }
+        .min(seq.len() - last.gend() as usize);
+    let (best_ext_r, best_mm_r) = best_ext_fwd(
+        read,
+        last.read_end() as usize,
+        seq,
+        last.gend() as usize,
+        right_room,
+        params.mismatch_penalty,
+    );
+    mismatches += best_mm_r;
     m_run += best_ext_r as i64;
     aligned += best_ext_r as u32;
     if m_run > 0 {
@@ -267,11 +365,12 @@ const MAX_SJ_SHIFT: i64 = 8;
 /// split only wins by strictly better (mismatches, class). Returns (split,
 /// mismatches over the whole search window, junction class); window bases inside the
 /// seeds match exactly under their original placement, so the mismatch count remains
-/// directly comparable with the gap-only search.
+/// directly comparable with the gap-only search. Each candidate's window mismatches
+/// are two popcount segment counts (before/after the junction).
 #[allow(clippy::too_many_arguments)]
 fn best_split(
-    read_codes: &[u8],
-    codes: &[u8],
+    read: &Packed2,
+    seq: &Packed2,
     genome: &PackedGenome,
     sjdb: &SpliceJunctionDb,
     a: &crate::seed::Seed,
@@ -299,11 +398,235 @@ fn best_split(
     // candidate only wins by being strictly better.
     {
         let mut consider = |split: i64| {
+            // The junction always lies inside [win_lo, win_hi] for the candidate
+            // range generated below, so both segment lengths are non-negative.
+            let junction = a.read_end() as i64 + split;
+            let left_len = (junction - win_lo) as usize;
+            let right_len = (win_hi - junction) as usize;
+            let mm = count_mismatches(
+                read,
+                win_lo as usize,
+                seq,
+                (win_lo + left_off) as usize,
+                left_len,
+            ) + count_mismatches(
+                read,
+                junction as usize,
+                seq,
+                (junction + right_off) as usize,
+                right_len,
+            );
+            let intron_start = (a.gend() as i64 + split) as u64;
+            let class = sjdb.classify(genome, intron_start, intron_start + intron_len as u64);
+            let better = match best {
+                None => true,
+                Some((_, best_mm, best_class)) => {
+                    (mm, class_rank(class)) < (best_mm, class_rank(best_class))
+                }
+            };
+            if better {
+                best = Some((split, mm, class));
+            }
+        };
+        for split in 0..=read_gap as i64 {
+            consider(split);
+        }
+        for k in 1..=MAX_SJ_SHIFT {
+            if k <= shift_a {
+                consider(-k);
+            }
+            if k <= shift_b {
+                consider(read_gap as i64 + k);
+            }
+        }
+    }
+    best.expect("split 0 always evaluated")
+}
+
+/// The original per-base extension loop, frozen verbatim as the differential
+/// oracle for [`extend_chain_into`]'s bit-parallel path. Property tests assert
+/// bit-equal [`WindowAlignment`]s (scores, CIGARs, junctions) between the two on
+/// random and adversarial inputs. Not used by the production pipeline.
+pub fn extend_chain_scalar(
+    chain: &Chain,
+    read_codes: &[u8],
+    genome: &PackedGenome,
+    sjdb: &SpliceJunctionDb,
+    params: &AlignParams,
+) -> Option<WindowAlignment> {
+    let seeds = &chain.seeds;
+    if seeds.is_empty() {
+        return None;
+    }
+    let mut out = WindowAlignment::empty();
+    let read_len = read_codes.len();
+
+    let mut aligned = 0u32;
+    let mut mismatches = 0u32;
+    let mut splice_penalty = 0i32;
+    let mut m_run: i64;
+
+    // --- Left end extension ---------------------------------------------------
+    let first = &seeds[0];
+    let left_room = (first.gpos as usize).min(first.read_pos as usize);
+    let contig_start = genome.contig_of(first.gpos).start;
+    let left_room = left_room.min((first.gpos - contig_start) as usize);
+    let mut best_ext = 0usize;
+    {
+        let mut score = 0i32;
+        let mut best_score = 0i32;
+        let mut mm = 0u32;
+        let mut best_mm = 0u32;
+        for i in 1..=left_room {
+            let r = read_codes[first.read_pos as usize - i];
+            let g = genome.code(first.gpos as usize - i);
+            if r == g {
+                score += 1;
+            } else {
+                score -= params.mismatch_penalty;
+                mm += 1;
+            }
+            if score > best_score {
+                best_score = score;
+                best_ext = i;
+                best_mm = mm;
+            }
+        }
+        mismatches += best_mm;
+    }
+    let gstart = first.gpos - best_ext as u64;
+    let left_clip = first.read_pos as usize - best_ext;
+    if left_clip > 0 {
+        out.cigar.push(CigarOp::S(left_clip as u32));
+    }
+    m_run = best_ext as i64;
+    aligned += best_ext as u32;
+
+    // --- Seeds and inner gaps ---------------------------------------------------
+    m_run += first.len as i64;
+    aligned += first.len;
+    for w in seeds.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let read_gap = (b.read_pos - a.read_end()) as usize;
+        let genome_gap = (b.gpos - a.gend()) as usize;
+        if genome_gap < read_gap {
+            return None;
+        }
+        if genome_gap == read_gap {
+            for i in 0..read_gap {
+                let r = read_codes[a.read_end() as usize + i];
+                let g = genome.code(a.gend() as usize + i);
+                if r != g {
+                    mismatches += 1;
+                }
+            }
+            aligned += read_gap as u32;
+            m_run += read_gap as i64;
+        } else {
+            let intron_len = genome_gap - read_gap;
+            if intron_len as u64 > params.max_intron_len {
+                return None;
+            }
+            let (split, mm, class) = best_split_scalar(
+                read_codes, genome, sjdb, a, b, read_gap, intron_len, m_run - 1,
+            );
+            mismatches += mm;
+            aligned += read_gap as u32;
+            m_run += split;
+            let intron_start = (a.gend() as i64 + split) as u64;
+            let intron_end = intron_start + intron_len as u64;
+            splice_penalty += match class {
+                SpliceClass::Annotated => params.annotated_splice_penalty,
+                SpliceClass::Canonical => params.canonical_splice_penalty,
+                SpliceClass::NonCanonical => params.noncanonical_splice_penalty,
+            };
+            out.junctions.push((intron_start, intron_end, class));
+            out.cigar.push(CigarOp::M(m_run as u32));
+            out.cigar.push(CigarOp::N(intron_len as u32));
+            m_run = read_gap as i64 - split;
+        }
+        m_run += b.len as i64;
+        aligned += b.len;
+    }
+
+    // --- Right end extension ------------------------------------------------------
+    let last = seeds.last().expect("non-empty");
+    let contig_end = genome.contig_of(last.gend().saturating_sub(1).max(last.gpos)).end();
+    let right_room = (read_len - last.read_end() as usize)
+        .min((contig_end - last.gend()) as usize)
+        .min(genome.len() - last.gend() as usize);
+    let mut best_ext_r = 0usize;
+    {
+        let mut score = 0i32;
+        let mut best_score = 0i32;
+        let mut mm = 0u32;
+        let mut best_mm = 0u32;
+        for i in 0..right_room {
+            let r = read_codes[last.read_end() as usize + i];
+            let g = genome.code(last.gend() as usize + i);
+            if r == g {
+                score += 1;
+            } else {
+                score -= params.mismatch_penalty;
+                mm += 1;
+            }
+            if score > best_score {
+                best_score = score;
+                best_ext_r = i + 1;
+                best_mm = mm;
+            }
+        }
+        mismatches += best_mm;
+    }
+    m_run += best_ext_r as i64;
+    aligned += best_ext_r as u32;
+    if m_run > 0 {
+        out.cigar.push(CigarOp::M(m_run as u32));
+    }
+    let right_clip = read_len - last.read_end() as usize - best_ext_r;
+    if right_clip > 0 {
+        out.cigar.push(CigarOp::S(right_clip as u32));
+    }
+
+    let matched = aligned - mismatches;
+    out.gstart = gstart;
+    out.aligned = aligned;
+    out.mismatches = mismatches;
+    out.score = matched as i32 - (mismatches as i32) * params.mismatch_penalty - splice_penalty;
+    Some(out)
+}
+
+/// Per-base splice-split search, the oracle half of [`best_split`].
+#[allow(clippy::too_many_arguments)]
+fn best_split_scalar(
+    read_codes: &[u8],
+    genome: &PackedGenome,
+    sjdb: &SpliceJunctionDb,
+    a: &crate::seed::Seed,
+    b: &crate::seed::Seed,
+    read_gap: usize,
+    intron_len: usize,
+    max_left_shift: i64,
+) -> (i64, u32, SpliceClass) {
+    let class_rank = |c: SpliceClass| match c {
+        SpliceClass::Annotated => 0u8,
+        SpliceClass::Canonical => 1,
+        SpliceClass::NonCanonical => 2,
+    };
+    let shift_a = MAX_SJ_SHIFT.min(max_left_shift).min(intron_len as i64).max(0);
+    let shift_b = MAX_SJ_SHIFT.min(b.len as i64 - 1).min(intron_len as i64).max(0);
+    let win_lo = a.read_end() as i64 - shift_a;
+    let win_hi = b.read_pos as i64 + shift_b; // exclusive
+    let left_off = a.gend() as i64 - a.read_end() as i64;
+    let right_off = b.gpos as i64 - b.read_pos as i64;
+    let mut best: Option<(i64, u32, SpliceClass)> = None;
+    {
+        let mut consider = |split: i64| {
             let junction = a.read_end() as i64 + split;
             let mut mm = 0u32;
             for x in win_lo..win_hi {
                 let off = if x < junction { left_off } else { right_off };
-                if read_codes[x as usize] != codes[(x + off) as usize] {
+                if read_codes[x as usize] != genome.code((x + off) as usize) {
                     mm += 1;
                 }
             }
@@ -315,10 +638,10 @@ fn best_split(
                     (mm, class_rank(class)) < (best_mm, class_rank(best_class))
                 }
             };
-        if better {
-            best = Some((split, mm, class));
-        }
-    };
+            if better {
+                best = Some((split, mm, class));
+            }
+        };
         for split in 0..=read_gap as i64 {
             consider(split);
         }
@@ -531,6 +854,66 @@ mod tests {
                 })
                 .sum();
             assert_eq!(total, 100, "cigar {:?}", wa.cigar);
+        }
+    }
+
+    #[test]
+    fn bit_parallel_matches_scalar_oracle_on_random_chains() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(2024);
+        let text = random_text(77, 6000);
+        let gene = Gene {
+            id: "G".into(),
+            contig: "1".into(),
+            strand: Strand::Forward,
+            exons: vec![Exon { start: 1000, end: 1200 }, Exon { start: 1700, end: 1900 }],
+        };
+        let idx = index_of(&text, Annotation { genes: vec![gene] });
+        let params = AlignParams::default();
+        for trial in 0..400 {
+            // Reads of several shapes: genomic, mutated, spliced, edge-hanging.
+            let codes: Vec<u8> = match trial % 4 {
+                0 => {
+                    let s = rng.gen_range(0..text.len() - 120);
+                    text[s..s + 100].parse::<DnaSeq>().unwrap().codes().to_vec()
+                }
+                1 => {
+                    let s = rng.gen_range(0..text.len() - 120);
+                    let mut c = text[s..s + 100].parse::<DnaSeq>().unwrap().codes().to_vec();
+                    for _ in 0..rng.gen_range(1..8) {
+                        let i = rng.gen_range(0..c.len());
+                        c[i] = (c[i] + rng.gen_range(1..4u8)) % 4;
+                    }
+                    c
+                }
+                2 => {
+                    let cut = rng.gen_range(20..80usize);
+                    let mut c =
+                        text[1200 - cut..1200].parse::<DnaSeq>().unwrap().codes().to_vec();
+                    c.extend(
+                        text[1700..1700 + (100 - cut)].parse::<DnaSeq>().unwrap().codes(),
+                    );
+                    c
+                }
+                _ => {
+                    let s = rng.gen_range(0..30usize);
+                    text[s..s + 100].parse::<DnaSeq>().unwrap().codes().to_vec()
+                }
+            };
+            let seeds = collect_seeds(&idx, &codes, &params);
+            let chains = best_chains(&seeds, codes.len(), &params);
+            let packed = Packed2::from_codes(&codes);
+            for chain in &chains {
+                let scalar = extend_chain_scalar(chain, &codes, idx.genome(), idx.sjdb(), &params);
+                let mut fast = WindowAlignment::empty();
+                let ok = extend_chain_into(
+                    chain, &packed, idx.genome(), idx.sjdb(), &params, &mut fast,
+                );
+                assert_eq!(ok, scalar.is_some(), "trial {trial}");
+                if let Some(s) = scalar {
+                    assert_eq!(fast, s, "trial {trial}");
+                }
+            }
         }
     }
 }

@@ -1,0 +1,250 @@
+//! SNAP-style fixed-length hash-table seeding index.
+//!
+//! "Faster and More Accurate Sequence Alignment with SNAP" replaces the suffix
+//! array's per-base refinement with one hash probe per seed: a table keyed by the
+//! fixed-length `s`-mer at the probe position. This module grafts that idea onto
+//! the STAR pipeline *without changing a single alignment*: each table entry maps
+//! an `s`-mer to the [`SaInterval`] of suffixes starting with it — exactly the
+//! interval `s` rounds of [`SuffixArray::refine`] (or a depth-`s`
+//! [`crate::PrefixTable`]) would reach. A hit therefore skips straight to depth
+//! `s` of the same search the suffix array would have run; a miss means no genome
+//! position starts with that `s`-mer, so the MMP is shorter than `s` and the
+//! search falls through to the dense prefix tables. Either way the downstream
+//! seeds are identical — the property the differential suites pin.
+//!
+//! The trade is memory for lookup latency, the index-size/speed frontier the
+//! source paper prices per instance type (Fig. 3's 85 GiB vs 29.5 GiB deciding
+//! r6a.4xlarge vs r6a.2xlarge): the table stores 16 bytes per *distinct* `s`-mer
+//! at ≤ 0.5 load, compared with the prefix table's dense `2·4^k` u32 buckets.
+//!
+//! Implementation: open addressing with linear probing over a power-of-two
+//! capacity, Fibonacci (multiply-shift) hashing, built deterministically by one
+//! pass over the suffix array (groups of suffixes sharing an `s`-mer are
+//! contiguous; suffixes shorter than `s` sort strictly before their group and are
+//! skipped). Runtime-only: built lazily by [`crate::StarIndex::hash_seed`], never
+//! serialized.
+
+use crate::genome::Packed2;
+use crate::sa::{SaInterval, SuffixArray};
+
+/// Sentinel for an unoccupied hash slot; never a valid key because keys are
+/// `2s ≤ 62`-bit values.
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Odd multiplier for Fibonacci hashing (2^64 / φ).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Hash table from fixed-length `s`-mer (LSB-first packed, as produced by
+/// [`Packed2::word_from`]) to the SA interval of suffixes starting with it.
+#[derive(Clone, Debug)]
+pub struct HashSeedIndex {
+    s: usize,
+    /// `64 - log2(capacity)`: multiply-shift hash keeps the top bits.
+    shift: u32,
+    keys: Vec<u64>,
+    vals: Vec<SaInterval>,
+    entries: usize,
+}
+
+impl HashSeedIndex {
+    /// Build the table for seed length `s` by one scan over the suffix array.
+    /// Deterministic: insertion order is SA order, so the table layout (and any
+    /// iteration over it) is a pure function of the genome.
+    pub fn build(sa: &SuffixArray, seq: &Packed2, s: usize) -> HashSeedIndex {
+        assert!((2..=31).contains(&s), "hash seed length {s} outside 2..=31");
+        let mask = (1u64 << (2 * s)) - 1;
+        let n = seq.len();
+        // Pass 1: count distinct s-mers (groups are contiguous in SA order).
+        let mut distinct = 0usize;
+        let mut prev = EMPTY_KEY;
+        for &pos in sa.positions() {
+            let pos = pos as usize;
+            if n - pos < s {
+                continue; // suffix too short to own an s-mer
+            }
+            let key = seq.word_from(pos) & mask;
+            if key != prev || distinct == 0 {
+                distinct += 1;
+                prev = key;
+            }
+        }
+        let capacity = (distinct * 2).next_power_of_two().max(16);
+        let shift = 64 - capacity.trailing_zeros();
+        let mut idx = HashSeedIndex {
+            s,
+            shift,
+            keys: vec![EMPTY_KEY; capacity],
+            vals: vec![SaInterval { lo: 0, hi: 0 }; capacity],
+            entries: 0,
+        };
+        // Pass 2: insert each group's [first, last+1) slot interval. A suffix
+        // shorter than s that shares a group's prefix sorts strictly *before*
+        // the group (it is a prefix of every member), so kept slots with equal
+        // keys are contiguous as raw SA slots too — the interval is exact.
+        let mut cur_key = EMPTY_KEY;
+        let mut cur_lo = 0u32;
+        let mut cur_n = 0u32;
+        let mut started = false;
+        for (slot, &pos) in sa.positions().iter().enumerate() {
+            let pos = pos as usize;
+            if n - pos < s {
+                continue;
+            }
+            let key = seq.word_from(pos) & mask;
+            let slot = slot as u32;
+            if started && key == cur_key {
+                debug_assert_eq!(slot, cur_lo + cur_n, "s-mer group not contiguous");
+                cur_n += 1;
+            } else {
+                if started {
+                    idx.insert(cur_key, SaInterval { lo: cur_lo, hi: cur_lo + cur_n });
+                }
+                cur_key = key;
+                cur_lo = slot;
+                cur_n = 1;
+                started = true;
+            }
+        }
+        if started {
+            idx.insert(cur_key, SaInterval { lo: cur_lo, hi: cur_lo + cur_n });
+        }
+        debug_assert_eq!(idx.entries, distinct);
+        idx
+    }
+
+    #[inline]
+    fn home_slot(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    fn insert(&mut self, key: u64, val: SaInterval) {
+        let cap_mask = self.keys.len() - 1;
+        let mut slot = self.home_slot(key);
+        while self.keys[slot] != EMPTY_KEY {
+            debug_assert_ne!(self.keys[slot], key, "duplicate s-mer group");
+            slot = (slot + 1) & cap_mask;
+        }
+        self.keys[slot] = key;
+        self.vals[slot] = val;
+        self.entries += 1;
+    }
+
+    /// SA interval of suffixes starting with the `s`-mer `key` (LSB-first packed).
+    /// An absent key returns the empty interval — by construction that means *no*
+    /// genome position starts with this `s`-mer, so the caller's MMP is shorter
+    /// than `s` and it falls through to the prefix-table layers.
+    #[inline]
+    pub fn lookup_value(&self, key: u64) -> SaInterval {
+        let cap_mask = self.keys.len() - 1;
+        let mut slot = self.home_slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return self.vals[slot];
+            }
+            if k == EMPTY_KEY {
+                return SaInterval { lo: 0, hi: 0 };
+            }
+            slot = (slot + 1) & cap_mask;
+        }
+    }
+
+    /// The fixed seed length `s`.
+    #[inline]
+    pub fn seed_len(&self) -> usize {
+        self.s
+    }
+
+    /// Number of distinct `s`-mers in the genome.
+    #[inline]
+    pub fn distinct_seeds(&self) -> usize {
+        self.entries
+    }
+
+    /// Resident bytes (keys + interval values).
+    pub fn byte_size(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<u64>()
+            + self.vals.len() * std::mem::size_of::<SaInterval>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomics::DnaSeq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn kmer_key(codes: &[u8]) -> u64 {
+        codes.iter().enumerate().map(|(i, &c)| (c as u64) << (2 * i)).sum()
+    }
+
+    #[test]
+    fn lookup_matches_sa_find_for_every_present_smer() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s_seq = DnaSeq::random(&mut rng, 3000);
+        let packed = Packed2::from_codes(s_seq.codes());
+        let sa = SuffixArray::build(s_seq.codes());
+        for s in [4usize, 9, 14] {
+            let h = HashSeedIndex::build(&sa, &packed, s);
+            for start in 0..s_seq.len() - s {
+                let pat = &s_seq.codes()[start..start + s];
+                assert_eq!(
+                    h.lookup_value(kmer_key(pat)),
+                    sa.find(&packed, pat),
+                    "s={s} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absent_smers_return_empty_meaning_mmp_shorter_than_s() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s_seq = DnaSeq::random(&mut rng, 500);
+        let packed = Packed2::from_codes(s_seq.codes());
+        let sa = SuffixArray::build(s_seq.codes());
+        let s = 16; // 4^16 >> 500: almost every random 16-mer is absent
+        let h = HashSeedIndex::build(&sa, &packed, s);
+        let mut checked = 0;
+        for _ in 0..200 {
+            let probe = DnaSeq::random(&mut rng, s);
+            let iv = h.lookup_value(kmer_key(probe.codes()));
+            let found = sa.find(&packed, probe.codes());
+            if iv.is_empty() {
+                // Both empty; endpoints may differ (find stops mid-refinement).
+                assert!(found.is_empty());
+                checked += 1;
+            } else {
+                assert_eq!(iv, found);
+            }
+        }
+        assert!(checked > 150, "expected mostly-absent probes, got {checked} empties");
+    }
+
+    #[test]
+    fn short_suffixes_are_skipped_and_homopolymers_group() {
+        let codes = vec![2u8; 40]; // GGGG…
+        let packed = Packed2::from_codes(&codes);
+        let sa = SuffixArray::build(&codes);
+        let h = HashSeedIndex::build(&sa, &packed, 8);
+        assert_eq!(h.distinct_seeds(), 1);
+        let iv = h.lookup_value(kmer_key(&vec![2u8; 8]));
+        assert_eq!(iv.size(), 33); // positions 0..=32 carry a full 8-mer
+        assert_eq!(iv, sa.find(&packed, &vec![2u8; 8]));
+    }
+
+    #[test]
+    fn build_is_deterministic_and_load_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s_seq = DnaSeq::random(&mut rng, 2048);
+        let packed = Packed2::from_codes(s_seq.codes());
+        let sa = SuffixArray::build(s_seq.codes());
+        let a = HashSeedIndex::build(&sa, &packed, 12);
+        let b = HashSeedIndex::build(&sa, &packed, 12);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.vals, b.vals);
+        assert!(a.distinct_seeds() * 2 <= a.keys.len(), "load factor above 0.5");
+        assert!(a.byte_size() >= a.distinct_seeds() * 16);
+    }
+}

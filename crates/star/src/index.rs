@@ -6,7 +6,8 @@
 //! provide the on-disk form whose download-and-load cost the cloud model charges at
 //! instance initialization.
 
-use crate::genome::{ContigSpan, PackedGenome};
+use crate::genome::{ContigSpan, Packed2, PackedGenome};
+use crate::hashseed::HashSeedIndex;
 use crate::prefix::PrefixTable;
 use crate::sa::SuffixArray;
 use crate::sjdb::SpliceJunctionDb;
@@ -65,6 +66,9 @@ pub struct StarIndex {
     /// first use and cached for the index's lifetime. Not part of the on-disk
     /// format ([`StarIndex::serialize`] skips it) and excluded from [`IndexStats`].
     deep: std::sync::OnceLock<Vec<PrefixTable>>,
+    /// SNAP-style hash seeding table ([`crate::AlignParams::use_hash_seed`]),
+    /// built lazily for one seed length and cached. Runtime-only, like `deep`.
+    hash: std::sync::OnceLock<HashSeedIndex>,
     /// Assembly name recorded for provenance (e.g. `"GRCh38-sim"`).
     pub assembly_name: String,
     /// Ensembl release the source assembly came from.
@@ -79,14 +83,17 @@ impl StarIndex {
         params: &IndexParams,
     ) -> Result<StarIndex, StarError> {
         let genome = PackedGenome::from_assembly(assembly)?;
-        let sa = SuffixArray::build(genome.codes());
+        // Construction works on a transient byte-per-base copy (SA-IS wants byte
+        // access); only the 2-bit packing stays resident.
+        let codes = genome.unpack();
+        let sa = SuffixArray::build(&codes);
         let k = params
             .sa_index_nbases
             .unwrap_or_else(|| PrefixTable::auto_k(genome.len(), params.sa_index_nbases_cap));
         if k > 13 {
             return Err(StarError::InvalidParams(format!("sa_index_nbases {k} > 13")));
         }
-        let prefix = PrefixTable::build(&sa, genome.codes(), k);
+        let prefix = PrefixTable::build(&sa, &codes, k);
         let sjdb = SpliceJunctionDb::from_annotation(annotation, &genome);
         Ok(StarIndex {
             genome,
@@ -94,6 +101,7 @@ impl StarIndex {
             prefix,
             sjdb,
             deep: std::sync::OnceLock::new(),
+            hash: std::sync::OnceLock::new(),
             assembly_name: assembly.name.clone(),
             release: assembly.release,
         })
@@ -124,7 +132,20 @@ impl StarIndex {
     /// cached, so sharing one index across runs pays the construction cost once.
     /// Search results are identical with or without them ([`PrefixTable::deepen`]).
     pub fn deep_prefix(&self) -> &[PrefixTable] {
-        self.deep.get_or_init(|| PrefixTable::deepen(&self.sa, self.genome.codes(), self.prefix.k()))
+        self.deep
+            .get_or_init(|| PrefixTable::deepen(&self.sa, &self.genome.unpack(), self.prefix.k()))
+    }
+
+    /// The SNAP-style hash seeding table for seed length `s`, built on first call
+    /// and cached for the index's lifetime. One table per index: every aligner
+    /// sharing the index must request the same `s` (enforced by assertion) — in
+    /// practice the length comes from one [`crate::AlignParams`] per run. Like the
+    /// deep prefix tables it is runtime-only and changes no search result
+    /// ([`HashSeedIndex`] module docs give the argument).
+    pub fn hash_seed(&self, s: usize) -> &HashSeedIndex {
+        let h = self.hash.get_or_init(|| HashSeedIndex::build(&self.sa, self.genome.seq(), s));
+        assert_eq!(h.seed_len(), s, "index hash-seed table already built for another length");
+        h
     }
 
     /// Clone this index with additional sjdb junctions (global coordinates) — the
@@ -151,18 +172,21 @@ impl StarIndex {
 
     /// Serialize to a self-describing little-endian binary blob.
     ///
-    /// Layout: magic, version, header lengths, then genome codes (byte per base —
-    /// the blob favours load speed over the 2-bit packing used for size accounting),
-    /// span table, SA, prefix table, sjdb.
+    /// Layout: magic, version, header lengths, then the 2-bit packed genome words
+    /// (version 2 stores the packed form directly — 4× smaller on disk than the
+    /// old byte-per-base blob, and deserialization is a straight word copy), span
+    /// table, SA, prefix table, sjdb.
     pub fn serialize(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.genome.len() * 5 + 1024);
         out.extend_from_slice(MAGIC);
         push_u32(&mut out, VERSION);
         push_str(&mut out, &self.assembly_name);
         push_u32(&mut out, self.release);
-        // Genome codes.
+        // Genome: 2-bit packed words.
         push_u64(&mut out, self.genome.len() as u64);
-        out.extend_from_slice(self.genome.codes());
+        for &w in self.genome.seq().words() {
+            push_u64(&mut out, w);
+        }
         // Span table.
         push_u32(&mut out, self.genome.spans().len() as u32);
         for s in self.genome.spans() {
@@ -210,10 +234,16 @@ impl StarIndex {
         let assembly_name = r.string()?;
         let release = r.u32()?;
         let glen = r.u64()? as usize;
-        let codes = r.take(glen)?.to_vec();
-        if codes.iter().any(|&c| c > 3) {
-            return Err(StarError::CorruptIndex("genome code out of range".into()));
+        let n_words = glen.div_ceil(crate::genome::BASES_PER_WORD);
+        // Guard the allocation: the words must actually fit in the blob.
+        if n_words.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+            return Err(StarError::CorruptIndex(format!("genome length {glen} implausible")));
         }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(r.u64()?);
+        }
+        let seq = Packed2::from_words(words, glen)?;
         let n_spans = r.u32()? as usize;
         let mut spans = Vec::with_capacity(n_spans);
         for _ in 0..n_spans {
@@ -223,7 +253,7 @@ impl StarIndex {
             let len = r.u64()?;
             spans.push(ContigSpan { name, kind, start, len });
         }
-        let genome = PackedGenome::from_parts(codes, spans)?;
+        let genome = PackedGenome::from_parts(seq, spans)?;
         let sa_len = r.u64()? as usize;
         let mut sa_raw = Vec::with_capacity(sa_len);
         for _ in 0..sa_len {
@@ -263,6 +293,7 @@ impl StarIndex {
             prefix,
             sjdb: SpliceJunctionDb::from_raw(pairs),
             deep: std::sync::OnceLock::new(),
+            hash: std::sync::OnceLock::new(),
             assembly_name,
             release,
         })
@@ -270,7 +301,9 @@ impl StarIndex {
 }
 
 const MAGIC: &[u8] = b"STARIDX\0";
-const VERSION: u32 = 1;
+/// Version 2: the genome section holds 2-bit packed words, not byte-per-base
+/// codes, and the prefix table's bucket order follows LSB-first k-mer values.
+const VERSION: u32 = 2;
 
 fn contig_kind_code(kind: genomics::ContigKind) -> u32 {
     match kind {
@@ -308,6 +341,10 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], StarError> {
         if self.pos + n > self.bytes.len() {
             return Err(StarError::CorruptIndex("unexpected end of blob".into()));
@@ -390,7 +427,7 @@ mod tests {
         let idx = small_index();
         let blob = idx.serialize();
         let back = StarIndex::deserialize(&blob).unwrap();
-        assert_eq!(back.genome().codes(), idx.genome().codes());
+        assert_eq!(back.genome().seq(), idx.genome().seq());
         assert_eq!(back.genome().spans(), idx.genome().spans());
         assert_eq!(back.sa().positions(), idx.sa().positions());
         assert_eq!(back.prefix(), idx.prefix());
@@ -413,11 +450,20 @@ mod tests {
         let mut b = blob.clone();
         b.push(0);
         assert!(StarIndex::deserialize(&b).is_err());
-        // Flip a genome code to an invalid value (codes start right after
-        // magic+version+name+release+len header).
-        let hdr = MAGIC.len() + 4 + 4 + idx.assembly_name.len() + 4 + 8;
-        let mut b = blob;
-        b[hdr] = 9;
+        // Implausible genome length (the u64 right after
+        // magic+version+name+release): word reads run off the end of the blob.
+        let hdr = MAGIC.len() + 4 + 4 + idx.assembly_name.len() + 4;
+        let mut b = blob.clone();
+        b[hdr..hdr + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(StarIndex::deserialize(&b).is_err());
+        // Non-zero padding bits in the last genome word (packed-form invariant).
+        let glen = idx.genome().len();
+        let pad = glen % crate::genome::BASES_PER_WORD;
+        if pad != 0 {
+            let n_words = glen.div_ceil(crate::genome::BASES_PER_WORD);
+            let mut b = blob;
+            b[hdr + 8 + n_words * 8 - 1] ^= 0x80; // bit 63 of the last word
+            assert!(StarIndex::deserialize(&b).is_err());
+        }
     }
 }

@@ -2,9 +2,16 @@
 //!
 //! The MMP of a read position `p` is the longest read substring starting at `p` that
 //! occurs anywhere in the genome (Dobin et al. 2013, Fig. 1). It is found by interval
-//! refinement on the suffix array, accelerated by the prefix lookup table for the
-//! first `k` bases; the search stops at the first base that empties the interval.
+//! refinement on the suffix array, accelerated by up to three O(1) starting layers,
+//! deepest first: an optional SNAP-style [`HashSeedIndex`] (fixed `s`-mer hash), the
+//! runtime-only deep prefix tables, and the serialized base prefix table. All layers
+//! address buckets by the LSB-first packed k-mer value, which a packed query yields
+//! with one [`Packed2::word_from`] and a mask — no per-base repacking. The search
+//! stops at the first base that empties the interval; small intervals finish with
+//! word-at-a-time direct extension (32 bases per compare).
 
+use crate::genome::{common_prefix_len, Packed2};
+use crate::hashseed::HashSeedIndex;
 use crate::index::StarIndex;
 use crate::prefix::PrefixTable;
 use crate::sa::SaInterval;
@@ -30,72 +37,100 @@ impl Mmp {
 
 /// Once the live interval is at most this many suffixes, the search switches from
 /// binary-search refinement (O(log |iv|) probes per base) to direct per-suffix prefix
-/// extension (O(|iv| + remaining) contiguous compares). Same result, and the cost
+/// extension (O(|iv| + remaining/32) contiguous compares). Same result, and the cost
 /// becomes proportional to the candidate count — which is exactly the quantity a
 /// scaffold-duplicated genome inflates.
 const DIRECT_EXTEND_MAX_INTERVAL: u32 = 16;
 
-/// Find the MMP of `pattern[from..]` against the index.
-///
-/// Uses the prefix table when at least `k` bases remain *and* the k-mer bucket is
-/// non-empty; otherwise falls back to base-by-base refinement from the root so the
-/// returned length is the true MMP length in every case.
+/// Find the MMP of `pattern[from..]` against the index. Convenience wrapper that
+/// packs the pattern; the hot path keeps reads packed and calls
+/// [`mmp_search_packed`] directly.
 pub fn mmp_search(index: &StarIndex, pattern: &[u8], from: usize) -> Mmp {
     mmp_search_with(index, &[], pattern, from)
 }
 
 /// [`mmp_search`] with optional deeper runtime-only prefix tables
-/// ([`PrefixTable::deepen`], deepest first). The search starts from the deepest
-/// layer whose bucket hits, with an interval `4^(d - k)` times smaller than the base
-/// bucket; layers that miss (query too short or `d`-mer absent from the genome) fall
-/// through to the next, ending at the base table exactly as [`mmp_search`]. Results
-/// are identical either way: a `d`-mer bucket is the interval refinement from depth
-/// `k` would reach at depth `d`.
-pub fn mmp_search_with(
+/// ([`PrefixTable::deepen`], deepest first).
+pub fn mmp_search_with(index: &StarIndex, deep: &[PrefixTable], pattern: &[u8], from: usize) -> Mmp {
+    mmp_search_packed(index, deep, None, &Packed2::from_codes(pattern), from)
+}
+
+/// The full MMP search over a packed query.
+///
+/// Starting layers are tried deepest-first: `hash` (fixed `s`-mer bucket), each
+/// table in `deep`, then the index's base prefix table; a layer is skipped when
+/// fewer than its depth bases remain or its bucket is empty. Results are identical
+/// whichever layer starts the search: a depth-`d` bucket *is* the interval that
+/// refinement from the root reaches at depth `d` (and an empty bucket means the MMP
+/// is shorter than `d`, which the shallower layers resolve exactly).
+pub fn mmp_search_packed(
     index: &StarIndex,
     deep: &[PrefixTable],
-    pattern: &[u8],
+    hash: Option<&HashSeedIndex>,
+    q: &Packed2,
     from: usize,
 ) -> Mmp {
-    let codes = index.genome().codes();
+    let seq = index.genome().seq();
     let sa = index.sa();
-    let query = &pattern[from..];
-    if query.is_empty() {
+    let remaining = q.len() - from;
+    if remaining == 0 {
         return Mmp { start: from, len: 0, interval: SaInterval { lo: 0, hi: 0 } };
     }
+    // One unaligned fetch covers every layer's probe: depths are ≤ 31 bases.
+    let w = q.word_from(from);
 
     let mut iv = SaInterval { lo: 0, hi: 0 };
     let mut depth = 0;
     let mut hit = false;
-    for layer in deep {
-        if let Some(bucket) = layer.lookup(query).filter(|b| !b.is_empty()) {
-            iv = bucket;
-            depth = layer.k();
-            hit = true;
-            break;
+    if let Some(h) = hash {
+        let s = h.seed_len();
+        if remaining >= s {
+            let bucket = h.lookup_value(w & ((1u64 << (2 * s)) - 1));
+            if !bucket.is_empty() {
+                iv = bucket;
+                depth = s;
+                hit = true;
+            }
         }
     }
     if !hit {
-        match index.prefix().lookup(query) {
-            Some(bucket) if !bucket.is_empty() => {
-                iv = bucket;
-                depth = index.prefix().k();
-            }
-            _ => {
-                // Either the query is shorter than k, or its k-mer is absent: refine
-                // from the root to find the exact stopping point.
-                iv = sa.full();
-                depth = 0;
+        for layer in deep {
+            let d = layer.k();
+            if remaining >= d {
+                let bucket = layer.lookup_value((w & ((1u64 << (2 * d)) - 1)) as usize);
+                if !bucket.is_empty() {
+                    iv = bucket;
+                    depth = d;
+                    hit = true;
+                    break;
+                }
             }
         }
     }
+    if !hit {
+        let k = index.prefix().k();
+        if remaining >= k {
+            let bucket = index.prefix().lookup_value((w & ((1u64 << (2 * k)) - 1)) as usize);
+            if !bucket.is_empty() {
+                iv = bucket;
+                depth = k;
+                hit = true;
+            }
+        }
+    }
+    if !hit {
+        // Either the query is shorter than every layer's depth, or its prefix is
+        // absent: refine from the root to find the exact stopping point.
+        iv = sa.full();
+        depth = 0;
+    }
 
     let mut best = Mmp { start: from, len: depth, interval: iv };
-    while depth < query.len() {
+    while depth < remaining {
         if iv.size() <= DIRECT_EXTEND_MAX_INTERVAL {
-            return direct_extend(codes, sa, query, from, depth, iv);
+            return direct_extend(seq, sa, q, from, depth, iv);
         }
-        let next = sa.refine(codes, iv, depth, query[depth]);
+        let next = sa.refine(seq, iv, depth, q.get(from + depth));
         if next.is_empty() {
             break;
         }
@@ -103,9 +138,9 @@ pub fn mmp_search_with(
         depth += 1;
         best = Mmp { start: from, len: depth, interval: iv };
     }
-    // When the bucket path was taken, depth started at k with a non-empty interval,
-    // so `best` is always consistent. When refinement from the root dies at depth 0,
-    // report len 0 with an empty interval.
+    // When a bucket path was taken, depth started positive with a non-empty
+    // interval, so `best` is always consistent. When refinement from the root dies
+    // at depth 0, report len 0 with an empty interval.
     if best.len == 0 {
         best.interval = SaInterval { lo: 0, hi: 0 };
     }
@@ -113,31 +148,29 @@ pub fn mmp_search_with(
 }
 
 /// Finish an MMP search by extending every suffix of the (small) interval directly
-/// against the query and keeping the maximizers.
+/// against the query, 32 bases per compare, and keeping the maximizers.
 ///
-/// All suffixes in `iv` share `query[..depth]`. The suffixes matching the *longest*
-/// query prefix form a contiguous sub-interval (any suffix sorted between two
-/// suffixes sharing a prefix also shares it), so tracking the first/last maximizer
-/// reconstructs the exact interval binary refinement would have produced.
+/// All suffixes in `iv` share `query[from..from+depth]`. The suffixes matching the
+/// *longest* query prefix form a contiguous sub-interval (any suffix sorted between
+/// two suffixes sharing a prefix also shares it), so tracking the first/last
+/// maximizer reconstructs the exact interval binary refinement would have produced.
 fn direct_extend(
-    codes: &[u8],
+    seq: &Packed2,
     sa: &crate::sa::SuffixArray,
-    query: &[u8],
+    q: &Packed2,
     from: usize,
     depth: usize,
     iv: SaInterval,
 ) -> Mmp {
     debug_assert!(!iv.is_empty());
-    let tail = &query[depth..];
+    let tail_len = q.len() - from - depth;
     let mut best_ext = 0usize;
     let mut best_lo = iv.lo;
     let mut best_hi = iv.lo;
     for slot in iv.lo..iv.hi {
         let pos = sa.suffix(slot) as usize + depth;
-        let avail = codes.len().saturating_sub(pos);
-        let max = tail.len().min(avail);
-        let suffix = &codes[pos..pos + max];
-        let ext = suffix.iter().zip(tail).take_while(|(a, b)| a == b).count();
+        let max = tail_len.min(seq.len().saturating_sub(pos));
+        let ext = common_prefix_len(seq, pos, q, from + depth, max);
         match ext.cmp(&best_ext) {
             std::cmp::Ordering::Greater => {
                 best_ext = ext;
@@ -242,7 +275,8 @@ mod tests {
         let text_seq = DnaSeq::random(&mut rng, 5000);
         let text = text_seq.to_string();
         let idx = index_of(&text);
-        let deep = PrefixTable::deepen(idx.sa(), idx.genome().codes(), idx.prefix().k());
+        let codes = idx.genome().unpack();
+        let deep = PrefixTable::deepen(idx.sa(), &codes, idx.prefix().k());
         assert!(!deep.is_empty(), "5kb genome supports a deeper table");
         assert!(deep.iter().all(|t| t.k() > idx.prefix().k()));
         for i in 0..500 {
@@ -268,6 +302,44 @@ mod tests {
             let plain = mmp_search(&idx, q.codes(), 0);
             let fast = mmp_search_with(&idx, &deep, q.codes(), 0);
             assert_eq!(plain, fast, "query {q}");
+        }
+    }
+
+    #[test]
+    fn hash_layer_never_changes_results() {
+        use crate::hashseed::HashSeedIndex;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4321);
+        let text_seq = DnaSeq::random(&mut rng, 5000);
+        let text = text_seq.to_string();
+        let idx = index_of(&text);
+        for s in [10usize, 16, 24] {
+            let hash = HashSeedIndex::build(idx.sa(), idx.genome().seq(), s);
+            for i in 0..300 {
+                let q = match i % 3 {
+                    0 => {
+                        let len = rng.gen_range(1..80usize);
+                        DnaSeq::random(&mut rng, len)
+                    }
+                    1 => {
+                        let st = rng.gen_range(0..text.len() - 80);
+                        text[st..st + rng.gen_range(1..80usize)].parse::<DnaSeq>().unwrap()
+                    }
+                    _ => {
+                        let st = rng.gen_range(0..text.len() - 80);
+                        let mut codes =
+                            text[st..st + 60].parse::<DnaSeq>().unwrap().codes().to_vec();
+                        let flip = rng.gen_range(0..codes.len());
+                        codes[flip] = (codes[flip] + rng.gen_range(1..4u8)) % 4;
+                        DnaSeq::from_codes(codes)
+                    }
+                };
+                let packed = Packed2::from_codes(q.codes());
+                let plain = mmp_search(&idx, q.codes(), 0);
+                let hashed = mmp_search_packed(&idx, &[], Some(&hash), &packed, 0);
+                assert_eq!(plain, hashed, "s={s} query {q}");
+            }
         }
     }
 

@@ -33,12 +33,13 @@ impl PrefixTable {
     /// Build the table by a single scan over the suffix array.
     ///
     /// The k-mer at every genome position is precomputed with one rolling pass
-    /// (`kmers[i] = codes[i] · 4^(k-1) + kmers[i+1] / 4`), so the SA scan does one
-    /// table lookup per suffix instead of re-packing `k` bases — O(n) total rather
-    /// than O(nk).
+    /// (`kmers[i] = codes[i] | kmers[i+1] · 4`, truncated to `2k` bits), so the SA
+    /// scan does one table lookup per suffix instead of re-packing `k` bases —
+    /// O(n) total rather than O(nk).
     pub fn build(sa: &SuffixArray, codes: &[u8], k: usize) -> PrefixTable {
         assert!((1..=13).contains(&k), "prefix depth {k} unsupported");
         let buckets = 1usize << (2 * k);
+        let mask = (buckets - 1) as u32;
         let mut starts = vec![u32::MAX; buckets];
         let mut ends = vec![0u32; buckets];
         let n = codes.len();
@@ -48,7 +49,7 @@ impl PrefixTable {
             let last = n - k;
             kmers[last] = kmer_value(&codes[last..last + k]) as u32;
             for i in (0..last).rev() {
-                kmers[i] = ((codes[i] as u32) << (2 * (k - 1))) | (kmers[i + 1] >> 2);
+                kmers[i] = ((kmers[i + 1] << 2) | codes[i] as u32) & mask;
             }
         }
         for (slot, &pos) in sa.positions().iter().enumerate() {
@@ -84,12 +85,19 @@ impl PrefixTable {
         if pattern.len() < self.k {
             return None;
         }
-        let m = kmer_value(&pattern[..self.k]);
+        Some(self.lookup_value(kmer_value(&pattern[..self.k])))
+    }
+
+    /// SA interval for an LSB-first-packed `k`-mer value — the O(1) probe the
+    /// packed hot path uses: `seq.word_from(p) & ((1 << 2k) - 1)` *is* the value.
+    /// The caller guarantees at least `k` bases remain at the probe position.
+    #[inline]
+    pub fn lookup_value(&self, m: usize) -> SaInterval {
         let lo = self.starts[m];
         if lo == u32::MAX {
-            return Some(SaInterval { lo: 0, hi: 0 });
+            return SaInterval { lo: 0, hi: 0 };
         }
-        Some(SaInterval { lo, hi: self.ends[m] })
+        SaInterval { lo, hi: self.ends[m] }
     }
 
     /// Build deeper companion tables for the alignment hot path, deepest first.
@@ -147,13 +155,16 @@ impl PrefixTable {
     }
 }
 
-/// Pack the first `len` 2-bit codes into an integer (big-endian base order so that
-/// numeric order == lexicographic order).
+/// Pack 2-bit codes into an integer, LSB-first (base `i` at bits `2i`) — the same
+/// layout [`crate::genome::Packed2::word_from`] produces, so a packed read yields
+/// probe values in O(1). Bucket addressing only needs a bijection k-mer↔index: each bucket's SA
+/// slots are contiguous because they share a k-base prefix, regardless of how the
+/// buckets themselves are numbered.
 #[inline]
-fn kmer_value(codes: &[u8]) -> usize {
+pub(crate) fn kmer_value(codes: &[u8]) -> usize {
     let mut v = 0usize;
-    for &c in codes {
-        v = (v << 2) | c as usize;
+    for (i, &c) in codes.iter().enumerate() {
+        v |= (c as usize) << (2 * i);
     }
     v
 }
@@ -161,6 +172,7 @@ fn kmer_value(codes: &[u8]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::genome::Packed2;
     use genomics::DnaSeq;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -169,15 +181,17 @@ mod tests {
     fn lookup_agrees_with_sa_find_on_random_text() {
         let mut rng = StdRng::seed_from_u64(11);
         let s = DnaSeq::random(&mut rng, 2000);
+        let packed = Packed2::from_codes(s.codes());
         let sa = SuffixArray::build(s.codes());
         let k = 4;
         let table = PrefixTable::build(&sa, s.codes(), k);
         // Every possible k-mer: the table interval must equal a from-scratch search.
         for m in 0..(1usize << (2 * k)) {
-            let pattern: Vec<u8> =
-                (0..k).rev().map(|shift| ((m >> (2 * shift)) & 0b11) as u8).collect();
+            // LSB-first decode, mirroring kmer_value's packing.
+            let pattern: Vec<u8> = (0..k).map(|i| ((m >> (2 * i)) & 0b11) as u8).collect();
             let via_table = table.lookup(&pattern).unwrap();
-            let via_find = sa.find(s.codes(), &pattern);
+            assert_eq!(via_table, table.lookup_value(m), "value probe {m:#b}");
+            let via_find = sa.find(&packed, &pattern);
             if via_find.is_empty() {
                 assert!(via_table.is_empty(), "k-mer {m:#b}");
             } else {
@@ -195,7 +209,7 @@ mod tests {
         for pat_str in ["CAC", "ACG", "CGT", "GTC", "CCC", "TCA"] {
             let pat: DnaSeq = pat_str.parse().unwrap();
             let via_table = t.lookup(pat.codes()).unwrap();
-            let via_find = sa.find(s.codes(), pat.codes());
+            let via_find = sa.find(&Packed2::from_codes(s.codes()), pat.codes());
             if via_find.is_empty() {
                 assert!(via_table.is_empty(), "{pat_str}");
             } else {
@@ -257,6 +271,6 @@ mod tests {
         let sa = SuffixArray::build(&codes);
         let t = PrefixTable::build(&sa, &codes, 4);
         let pattern = vec![0u8; 4];
-        assert_eq!(t.lookup(&pattern).unwrap(), sa.find(&codes, &pattern));
+        assert_eq!(t.lookup(&pattern).unwrap(), sa.find(&Packed2::from_codes(&codes), &pattern));
     }
 }

@@ -14,6 +14,7 @@
 //! is narrowed one base at a time via binary search ([`SuffixArray::refine`]), the
 //! primitive that the MMP seed search builds on.
 
+use crate::genome::Packed2;
 use rayon::prelude::*;
 
 /// An interval `[lo, hi)` of suffix-array slots.
@@ -169,13 +170,14 @@ impl SuffixArray {
     ///
     /// Suffixes too short to have a base at `depth` sort at the front of the interval
     /// and are excluded. Two binary searches, O(log |iv|).
-    pub fn refine(&self, codes: &[u8], iv: SaInterval, depth: usize, c: u8) -> SaInterval {
+    pub fn refine(&self, seq: &Packed2, iv: SaInterval, depth: usize, c: u8) -> SaInterval {
         // Rank of the character at `depth` for the suffix in a slot: end-of-text
         // (suffix too short) ranks below every base.
+        let n = seq.len();
         let char_at = |slot: u32| -> i16 {
             let pos = self.sa[slot as usize] as usize + depth;
-            if pos < codes.len() {
-                codes[pos] as i16
+            if pos < n {
+                seq.get(pos) as i16
             } else {
                 -1
             }
@@ -190,10 +192,10 @@ impl SuffixArray {
 
     /// Find the SA interval of all suffixes starting with `pattern` (empty pattern →
     /// full interval). Convenience wrapper over repeated [`SuffixArray::refine`].
-    pub fn find(&self, codes: &[u8], pattern: &[u8]) -> SaInterval {
+    pub fn find(&self, seq: &Packed2, pattern: &[u8]) -> SaInterval {
         let mut iv = self.full();
         for (depth, &c) in pattern.iter().enumerate() {
-            iv = self.refine(codes, iv, depth, c);
+            iv = self.refine(seq, iv, depth, c);
             if iv.is_empty() {
                 break;
             }
@@ -473,17 +475,18 @@ mod tests {
     #[test]
     fn find_locates_all_occurrences() {
         let s: DnaSeq = "ACGTACGTTACG".parse().unwrap();
+        let packed = Packed2::from_codes(s.codes());
         let sa = SuffixArray::build(s.codes());
         let pat: DnaSeq = "ACG".parse().unwrap();
-        let iv = sa.find(s.codes(), pat.codes());
+        let iv = sa.find(&packed, pat.codes());
         let mut hits: Vec<u32> = (iv.lo..iv.hi).map(|slot| sa.suffix(slot)).collect();
         hits.sort_unstable();
         assert_eq!(hits, vec![0, 4, 9]);
         // Absent pattern.
         let none: DnaSeq = "GGGG".parse().unwrap();
-        assert!(sa.find(s.codes(), none.codes()).is_empty());
+        assert!(sa.find(&packed, none.codes()).is_empty());
         // Empty pattern = everything.
-        assert_eq!(sa.find(s.codes(), &[]).size() as usize, s.len());
+        assert_eq!(sa.find(&packed, &[]).size() as usize, s.len());
     }
 
     #[test]
@@ -492,7 +495,7 @@ mod tests {
         let sa = SuffixArray::build(s.codes());
         // Suffixes: "T"(2) < "TT"(1) < "TTT"(0). Searching "TT" must hit slots {1,2}.
         let pat: DnaSeq = "TT".parse().unwrap();
-        let iv = sa.find(s.codes(), pat.codes());
+        let iv = sa.find(&Packed2::from_codes(s.codes()), pat.codes());
         assert_eq!(iv.size(), 2);
         let mut hits: Vec<u32> = (iv.lo..iv.hi).map(|s_| sa.suffix(s_)).collect();
         hits.sort_unstable();
@@ -518,7 +521,7 @@ mod tests {
     fn empty_text_is_fine() {
         let sa = SuffixArray::build(&[]);
         assert!(sa.is_empty());
-        assert!(sa.find(&[], &[0]).is_empty());
+        assert!(sa.find(&Packed2::from_codes(&[]), &[0]).is_empty());
     }
 
     #[test]

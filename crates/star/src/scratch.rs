@@ -16,8 +16,9 @@
 use std::cell::RefCell;
 
 use crate::extend::WindowAlignment;
+use crate::genome::Packed2;
 use crate::pair::CandidatePair;
-use crate::seed::Seed;
+use crate::seed::{Seed, SeedProbeScratch};
 use crate::stitch::Chain;
 
 /// All buffers the per-read alignment hot path reuses.
@@ -43,8 +44,14 @@ impl AlignScratch {
 pub(crate) struct ScratchCore {
     /// Reverse-complement codes of the read being aligned.
     pub(crate) rc: Vec<u8>,
+    /// 2-bit packed forward read (word buffer reused across reads).
+    pub(crate) fwd: Packed2,
+    /// 2-bit packed reverse-complement read.
+    pub(crate) rcp: Packed2,
     /// Seed list for the current orientation.
     pub(crate) seeds: Vec<Seed>,
+    /// Batched seed-occurrence resolution buffers.
+    pub(crate) probe: SeedProbeScratch,
     pub(crate) stitch: StitchScratch,
     pub(crate) chains: ChainPool,
 }

@@ -5,13 +5,22 @@
 //! past the base that terminated the MMP (STAR's serial MMP search). Seeds that would
 //! cross a contig boundary are discarded.
 //!
+//! Occurrence resolution is batched per MMP: all suffix-array slots of the interval
+//! are read into scratch in one contiguous pass, the boundary check runs as a single
+//! merge-join of the genome-position-sorted probes against the span table (one
+//! forward sweep instead of one binary search per occurrence), and the surviving
+//! seeds are pushed in original slot order so the `max_seeds_per_read` truncation is
+//! bit-identical to the one-at-a-time loop it replaced.
+//!
 //! The seed *count* per read is the quantity the genome-release optimization moves:
 //! on the release-108 index every genic MMP interval also contains the duplicated
 //! scaffold copies, multiplying seeds — and all downstream stitching/extension work —
 //! by the copy number.
 
+use crate::genome::Packed2;
+use crate::hashseed::HashSeedIndex;
 use crate::index::StarIndex;
-use crate::mmp::mmp_search_with;
+use crate::mmp::mmp_search_packed;
 use crate::params::AlignParams;
 use crate::prefix::PrefixTable;
 
@@ -48,9 +57,21 @@ impl Seed {
     }
 }
 
+/// Reusable buffers for batched per-MMP occurrence resolution (cleared per MMP,
+/// capacity retained across reads so the steady state allocates nothing).
+#[derive(Clone, Debug, Default)]
+pub struct SeedProbeScratch {
+    /// Genome position per interval slot, in slot order.
+    gpos: Vec<u64>,
+    /// Slot indices sorted by genome position (the merge-join visit order).
+    order: Vec<u32>,
+    /// Per-slot verdict of the contig-boundary check.
+    fits: Vec<bool>,
+}
+
 /// Collect seeds for `read_codes` (already oriented; the caller runs this once per
 /// strand). Returns seeds sorted by `read_pos`. Convenience wrapper over
-/// [`collect_seeds_into`] for callers without a reusable buffer.
+/// [`collect_seeds_packed`] for callers without packed reads or reusable buffers.
 pub fn collect_seeds(index: &StarIndex, read_codes: &[u8], params: &AlignParams) -> Vec<Seed> {
     let mut seeds = Vec::new();
     collect_seeds_into(index, read_codes, params, &mut seeds);
@@ -78,27 +99,76 @@ pub fn collect_seeds_with(
     params: &AlignParams,
     seeds: &mut Vec<Seed>,
 ) {
+    let q = Packed2::from_codes(read_codes);
+    let mut probe = SeedProbeScratch::default();
+    collect_seeds_packed(index, deep, None, &q, params, seeds, &mut probe);
+}
+
+/// The full seed collector over a packed read, with every acceleration layer:
+/// deeper prefix tables, an optional hash seeding index, and batched occurrence
+/// resolution through `probe`. Seeds are identical across all layer combinations.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_seeds_packed(
+    index: &StarIndex,
+    deep: &[PrefixTable],
+    hash: Option<&HashSeedIndex>,
+    q: &Packed2,
+    params: &AlignParams,
+    seeds: &mut Vec<Seed>,
+    probe: &mut SeedProbeScratch,
+) {
     seeds.clear();
     let mut from = 0usize;
     let genome = index.genome();
-    while from < read_codes.len() && seeds.len() < params.max_seeds_per_read {
-        let m = mmp_search_with(index, deep, read_codes, from);
+    while from < q.len() && seeds.len() < params.max_seeds_per_read {
+        let m = mmp_search_packed(index, deep, hash, q, from);
         if m.len == 0 {
             from += 1;
             continue;
         }
         if m.len >= params.min_seed_len && m.occurrences() <= params.anchor_multimap_nmax {
-            for slot in m.interval.lo..m.interval.hi {
-                let gpos = index.sa().suffix(slot) as u64;
+            let read_pos = m.start as u32;
+            let len = m.len as u32;
+            let interval_size = m.occurrences();
+            if interval_size == 1 {
+                // Single occurrence: the batch machinery would only add overhead.
+                let gpos = index.sa().suffix(m.interval.lo) as u64;
                 if genome.fits_in_contig(gpos, m.len as u64) {
-                    seeds.push(Seed {
-                        read_pos: m.start as u32,
-                        gpos,
-                        len: m.len as u32,
-                        interval_size: m.occurrences(),
-                    });
-                    if seeds.len() >= params.max_seeds_per_read {
-                        break;
+                    seeds.push(Seed { read_pos, gpos, len, interval_size });
+                }
+            } else {
+                // Batched resolution: one contiguous SA read, one position-sorted
+                // sweep over the span table, then a slot-order push — byte-identical
+                // truncation semantics to checking each slot in turn.
+                let SeedProbeScratch { gpos, order, fits } = probe;
+                gpos.clear();
+                gpos.extend(
+                    index.sa().positions()[m.interval.lo as usize..m.interval.hi as usize]
+                        .iter()
+                        .map(|&p| p as u64),
+                );
+                order.clear();
+                order.extend(0..gpos.len() as u32);
+                order.sort_unstable_by_key(|&i| gpos[i as usize]);
+                fits.clear();
+                fits.resize(gpos.len(), false);
+                let spans = genome.spans();
+                let mut cur = 0usize;
+                for &i in order.iter() {
+                    let g = gpos[i as usize];
+                    while spans[cur].end() <= g {
+                        cur += 1;
+                    }
+                    // The final span ends at the genome length, so this also
+                    // rejects runs past the genome end.
+                    fits[i as usize] = g + m.len as u64 <= spans[cur].end();
+                }
+                for (i, &ok) in fits.iter().enumerate() {
+                    if ok {
+                        seeds.push(Seed { read_pos, gpos: gpos[i], len, interval_size });
+                        if seeds.len() >= params.max_seeds_per_read {
+                            break;
+                        }
                     }
                 }
             }
@@ -236,5 +306,53 @@ mod tests {
         p.max_seeds_per_read = 25;
         let seeds = collect_seeds(&idx, read.codes(), &p);
         assert!(seeds.len() <= 25);
+    }
+
+    #[test]
+    fn batched_resolution_matches_slot_order_semantics_across_boundaries() {
+        // Repeat a unit so it lands in several contigs, with some copies cut by
+        // boundaries; compare against a straightforward per-slot reference.
+        let unit = random_text(8, 40);
+        let a = format!("{}{}", unit.repeat(3), random_text(9, 23));
+        let b = format!("{}{}{}", random_text(10, 17), unit.repeat(2), &unit[..20]);
+        let c = format!("{}{}", &unit[20..], unit);
+        let idx = index_of_contigs(vec![("1", &a), ("2", &b), ("3", &c)]);
+        let read: DnaSeq = unit.parse().unwrap();
+        for cap in [2usize, 4, 100] {
+            let mut p = AlignParams::default();
+            p.anchor_multimap_nmax = 1000;
+            p.max_seeds_per_read = cap;
+            p.min_seed_len = 10;
+            let seeds = collect_seeds(&idx, read.codes(), &p);
+            // Reference: the pre-batching algorithm, written plainly.
+            let mut expect = Vec::new();
+            let mut from = 0usize;
+            while from < read.len() && expect.len() < cap {
+                let m = crate::mmp::mmp_search(&idx, read.codes(), from);
+                if m.len == 0 {
+                    from += 1;
+                    continue;
+                }
+                if m.len >= p.min_seed_len && m.occurrences() <= p.anchor_multimap_nmax {
+                    for slot in m.interval.lo..m.interval.hi {
+                        let gpos = idx.sa().suffix(slot) as u64;
+                        if idx.genome().fits_in_contig(gpos, m.len as u64) {
+                            expect.push(Seed {
+                                read_pos: m.start as u32,
+                                gpos,
+                                len: m.len as u32,
+                                interval_size: m.occurrences(),
+                            });
+                            if expect.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                }
+                from = m.start + m.len + 1;
+            }
+            expect.sort_unstable_by_key(|s| (s.read_pos, s.gpos));
+            assert_eq!(seeds, expect, "cap {cap}");
+        }
     }
 }

@@ -1,19 +1,19 @@
-//! Differential verification of the discrete-event kernel engine.
+//! Replay verification of the discrete-event kernel engine.
 //!
-//! The orchestrator now carries two engines: the legacy per-tick scan loop
-//! (kept as a frozen oracle) and the discrete-event kernel. These tests prove
-//! they are *byte-for-byte* interchangeable — identical summary digests,
-//! completion orders, dead letters, fault tallies, makespans, costs, dispatched
-//! event counts and stripped telemetry logs — across:
+//! The legacy per-tick scan loop the kernel soaked against has been deleted;
+//! what remains load-bearing is that the kernel is a pure function of config +
+//! workload. These tests prove a replay is *byte-for-byte* identical —
+//! identical summary digests, completion orders, dead letters, fault tallies,
+//! makespans, costs, dispatched event counts and stripped telemetry logs —
+//! across:
 //!
 //! * a fault-free real-pipeline campaign;
 //! * chaos-seeded real-pipeline campaigns (transient faults + spot bursts);
-//! * a fleet-scale modeled campaign far beyond what the tick loop's test
-//!   budget used to allow.
+//! * a fleet-scale modeled campaign far beyond what the old tick loop's test
+//!   budget allowed.
 //!
-//! They also port the chaos-suite guarantees (conservation, bit-exact replay)
-//! and the monitor pure-observer proof to the kernel path explicitly, so those
-//! properties no longer depend on which engine happens to be the default.
+//! They also pin the chaos-suite guarantees (conservation, bit-exact replay)
+//! and the monitor pure-observer proof to the kernel path explicitly.
 
 use atlas_pipeline::experiments::Substrate;
 use atlas_pipeline::orchestrator::{CampaignConfig, CampaignEngine, Orchestrator};
@@ -72,16 +72,16 @@ fn chaos_config(plan: FaultPlan) -> CampaignConfig {
 }
 
 #[test]
-fn fault_free_campaign_engines_agree_byte_for_byte() {
+fn fault_free_campaign_replays_byte_for_byte() {
     let (pipeline, ids) = pipeline_fixture(8);
     let cmp = run_differential(pipeline, &small_fleet_config(), &ids).unwrap();
-    cmp.assert_equivalent().unwrap_or_else(|d| panic!("engines diverged: {d}"));
-    assert_eq!(cmp.kernel.completed.len(), ids.len());
-    assert!(cmp.kernel.sim_events > 0, "the kernel must actually dispatch events");
+    cmp.assert_equivalent().unwrap_or_else(|d| panic!("replay diverged: {d}"));
+    assert_eq!(cmp.first.completed.len(), ids.len());
+    assert!(cmp.first.sim_events > 0, "the kernel must actually dispatch events");
 }
 
 #[test]
-fn chaos_campaign_engines_agree_byte_for_byte() {
+fn chaos_campaign_replays_byte_for_byte() {
     let (pipeline, ids) = pipeline_fixture(10);
     // The hostile end of the fault spectrum: transient faults on every service
     // plus a violent spot burst — the regime where scheduling-order bugs show.
@@ -89,27 +89,26 @@ fn chaos_campaign_engines_agree_byte_for_byte() {
     plan.spot_bursts =
         vec![SpotBurst { start_secs: 200.0, duration_secs: 600.0, rate_per_hour: 30.0 }];
     let cmp = run_differential(pipeline, &chaos_config(plan), &ids).unwrap();
-    cmp.assert_equivalent().unwrap_or_else(|d| panic!("engines diverged under chaos: {d}"));
-    assert!(cmp.kernel.fault_counters.total_faults() > 0, "premise: chaos actually struck");
+    cmp.assert_equivalent().unwrap_or_else(|d| panic!("replay diverged under chaos: {d}"));
+    assert!(cmp.first.fault_counters.total_faults() > 0, "premise: chaos actually struck");
 
-    // The equivalence must hold per seed, not on average: a second seed takes a
-    // different trajectory and both engines must follow it in lockstep.
+    // The determinism must hold per seed, not on average: a second seed takes
+    // a different trajectory and its replay must follow it in lockstep.
     let (pipeline, ids) = pipeline_fixture(10);
     let cmp2 = run_differential(pipeline, &chaos_config(FaultPlan::chaos(7)), &ids).unwrap();
-    cmp2.assert_equivalent().unwrap_or_else(|d| panic!("engines diverged on seed 7: {d}"));
+    cmp2.assert_equivalent().unwrap_or_else(|d| panic!("replay diverged on seed 7: {d}"));
     assert_ne!(
-        cmp.kernel.summary_digest(),
-        cmp2.kernel.summary_digest(),
+        cmp.first.summary_digest(),
+        cmp2.first.summary_digest(),
         "different fault seeds must steer the campaign differently"
     );
 }
 
 #[test]
-fn fleet_scale_modeled_campaign_engines_agree() {
+fn fleet_scale_modeled_campaign_replays_byte_for_byte() {
     // 400 accessions over a 32-instance ceiling — an order of magnitude past the
-    // real-pipeline fixtures, cheap because the workload is modeled. The legacy
-    // loop still manages this size; past it, only the kernel is practical (the
-    // bench covers 10k+).
+    // real-pipeline fixtures, cheap because the workload is modeled (the bench
+    // covers 10k+).
     let n = 400;
     let ids = ModeledWorkload::accessions(n);
     let t = InstanceType::by_name("r6a.xlarge").unwrap();
@@ -121,15 +120,15 @@ fn fleet_scale_modeled_campaign_engines_agree() {
     cfg.max_receive_count = Some(6);
 
     let cmp = run_differential(ModeledWorkload::default().into_workload(), &cfg, &ids).unwrap();
-    cmp.assert_equivalent().unwrap_or_else(|d| panic!("engines diverged at fleet scale: {d}"));
+    cmp.assert_equivalent().unwrap_or_else(|d| panic!("replay diverged at fleet scale: {d}"));
 
     // Conservation at scale, on the kernel report.
     assert_eq!(
-        cmp.kernel.completed.len() + cmp.kernel.dead_lettered.len(),
+        cmp.first.completed.len() + cmp.first.dead_lettered.len(),
         n,
         "every accession resolves exactly once"
     );
-    assert!(cmp.kernel.instances_launched >= 32, "the fleet must actually scale out");
+    assert!(cmp.first.instances_launched >= 32, "the fleet must actually scale out");
 }
 
 #[test]

@@ -153,34 +153,31 @@ proptest! {
         prop_assert_eq!(deleted_count + drained + q.dead_letter_count(), n_msgs);
     }
 
-    /// Differential oracle: the heap/deque queue and the legacy scan queue,
-    /// driven with an identical operation script, must be observationally
-    /// indistinguishable — same receive results (body, receipt, count), same
-    /// success/failure on delete/extend/force-visible, same counters, same
-    /// dead-letter order. This is the broker-level half of the engine
-    /// equivalence proof (the campaign-level half lives in devent_diff.rs).
+    /// Differential oracle: the heap/deque queue and a naive scan-based
+    /// reference model (below), driven with an identical operation script, must
+    /// be observationally indistinguishable — same receive results (body,
+    /// receipt number, count), same success/failure on delete/extend/
+    /// force-visible, same counters, same dead-letter order. The model replays
+    /// the role of the deleted `LegacySqsQueue`: it spells the delivery-order
+    /// contract out as plain full scans, so any heap/deque scheduling bug shows
+    /// up as a divergence.
     #[test]
-    fn new_queue_is_observationally_identical_to_legacy(
+    fn queue_matches_scan_reference_model(
         n_msgs in 1usize..8,
         ops in prop::collection::vec(op_strategy(), 0..150),
     ) {
-        #[allow(deprecated)]
-        use cloudsim::sqs::legacy::LegacySqsQueue;
-
         let vis = SimDuration::from_secs(VISIBILITY_SECS);
         let mut new_q: SqsQueue<u32> = SqsQueue::new(vis).with_max_receive_count(MAX_RECEIVE);
-        #[allow(deprecated)]
-        let mut old_q: LegacySqsQueue<u32> =
-            LegacySqsQueue::new(vis).with_max_receive_count(MAX_RECEIVE);
+        let mut model = ModelQueue::new(VISIBILITY_SECS, MAX_RECEIVE);
         for m in 0..n_msgs as u32 {
             new_q.send(m);
-            old_q.send(m);
+            model.send(m);
         }
 
         let mut now = 0.0f64;
         // Receipts come out of each queue's own numbering; track them pairwise
         // so the same script index targets the same logical delivery in both.
-        let mut receipts: Vec<(ReceiptHandle, ReceiptHandle)> = Vec::new();
+        let mut receipts: Vec<(ReceiptHandle, u64)> = Vec::new();
 
         for op in ops {
             let t = SimTime::from_secs(now);
@@ -188,7 +185,7 @@ proptest! {
                 Op::Advance(d) => now += d,
                 Op::Receive => {
                     let a = new_q.receive(t);
-                    let b = old_q.receive(t);
+                    let b = model.receive(now);
                     prop_assert_eq!(
                         a.as_ref().map(|(m, _, c)| (*m, *c)),
                         b.as_ref().map(|(m, _, c)| (*m, *c)),
@@ -197,7 +194,11 @@ proptest! {
                     if let (Some((_, ra, _)), Some((_, rb, _))) = (a, b) {
                         // Receipt numbering is part of the observable contract:
                         // both queues hand them out in delivery order.
-                        prop_assert_eq!(ra, rb, "receipt numbering diverged");
+                        prop_assert_eq!(
+                            format!("{ra:?}"),
+                            format!("ReceiptHandle({rb})"),
+                            "receipt numbering diverged"
+                        );
                         receipts.push((ra, rb));
                     }
                 }
@@ -208,7 +209,7 @@ proptest! {
                     let (ra, rb) = receipts.remove(i % receipts.len());
                     prop_assert_eq!(
                         new_q.delete(ra).is_ok(),
-                        old_q.delete(rb).is_ok(),
+                        model.delete(rb),
                         "delete outcome diverged"
                     );
                 }
@@ -220,7 +221,7 @@ proptest! {
                     let dd = SimDuration::from_secs(d);
                     prop_assert_eq!(
                         new_q.change_visibility(ra, t, dd).is_ok(),
-                        old_q.change_visibility(rb, t, dd).is_ok(),
+                        model.change_visibility(rb, now, d),
                         "change_visibility outcome diverged"
                     );
                 }
@@ -231,40 +232,224 @@ proptest! {
                     let (ra, rb) = receipts[i % receipts.len()];
                     prop_assert_eq!(
                         new_q.force_visible(ra).is_ok(),
-                        old_q.force_visible(rb).is_ok(),
+                        model.force_visible(rb),
                         "force_visible outcome diverged"
                     );
                     prop_assert_eq!(
-                        new_q.queue_wait(ra),
-                        old_q.queue_wait(rb),
+                        new_q.queue_wait(ra).map(|d| d.as_secs()),
+                        model.queue_wait(rb),
                         "queue_wait diverged"
                     );
                 }
             }
             let t = SimTime::from_secs(now);
-            prop_assert_eq!(new_q.pending_count(), old_q.pending_count());
-            prop_assert_eq!(new_q.visible_count(t), old_q.visible_count(t));
-            prop_assert_eq!(new_q.in_flight_count(t), old_q.in_flight_count(t));
-            prop_assert_eq!(new_q.dead_letters(), old_q.dead_letters(), "dead-letter order diverged");
+            prop_assert_eq!(new_q.pending_count(), model.pending_count());
+            prop_assert_eq!(new_q.visible_count(t), model.visible_count(now));
+            prop_assert_eq!(new_q.in_flight_count(t), model.in_flight_count(now));
+            prop_assert_eq!(new_q.dead_letters(), model.dead_letters(), "dead-letter order diverged");
         }
 
         // Drain both far in the future: the full remaining delivery schedule
         // (bodies, counts, receipts, dead-letter order) must match to the end.
-        let far = SimTime::from_secs(now + 1e7);
+        let far_secs = now + 1e7;
+        let far = SimTime::from_secs(far_secs);
         loop {
             let a = new_q.receive(far);
-            let b = old_q.receive(far);
-            prop_assert_eq!(&a, &b, "drain diverged");
+            let b = model.receive(far_secs);
+            prop_assert_eq!(
+                a.as_ref().map(|(m, _, c)| (*m, *c)),
+                b.as_ref().map(|(m, _, c)| (*m, *c)),
+                "drain diverged"
+            );
             match a {
                 Some((_, r, _)) => new_q.delete(r).unwrap(),
                 None => break,
             }
             if let Some((_, r, _)) = b {
-                old_q.delete(r).unwrap();
+                prop_assert!(model.delete(r));
             }
         }
-        prop_assert_eq!(new_q.dead_letters(), old_q.dead_letters());
+        prop_assert_eq!(new_q.dead_letters(), model.dead_letters());
         prop_assert_eq!(new_q.pending_count(), 0);
-        prop_assert_eq!(old_q.pending_count(), 0);
+        prop_assert_eq!(model.pending_count(), 0);
+    }
+}
+
+/// A deliberately naive scan-based SQS model: the executable statement of the
+/// delivery contract the production heap/deque queue must honor. Everything is
+/// O(n) full scans over the message store — visibility reconciliation walks all
+/// messages in index order, receipts resolve by linear search — because the
+/// point is obviousness, not speed. It reproduces the semantics of the deleted
+/// `LegacySqsQueue` (the pre-kernel production implementation) so the
+/// differential property test above keeps its oracle power.
+struct ModelMsg {
+    body: u32,
+    receive_count: u32,
+    invisible_until: Option<f64>,
+    current_receipt: Option<u64>,
+    deleted: bool,
+    queued: bool,
+    sent_at: f64,
+    first_received_at: Option<f64>,
+}
+
+struct ModelQueue {
+    msgs: Vec<ModelMsg>,
+    /// Indices of (potentially) visible messages, FIFO front-to-back.
+    visible: Vec<usize>,
+    visibility_secs: f64,
+    max_receive: u32,
+    next_receipt: u64,
+    dead: Vec<u32>,
+}
+
+impl ModelQueue {
+    fn new(visibility_secs: f64, max_receive: u32) -> ModelQueue {
+        ModelQueue {
+            msgs: Vec::new(),
+            visible: Vec::new(),
+            visibility_secs,
+            max_receive,
+            next_receipt: 1,
+            dead: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, body: u32) {
+        let idx = self.msgs.len();
+        self.msgs.push(ModelMsg {
+            body,
+            receive_count: 0,
+            invisible_until: None,
+            current_receipt: None,
+            deleted: false,
+            queued: true,
+            sent_at: 0.0,
+            first_received_at: None,
+        });
+        self.visible.push(idx);
+    }
+
+    /// Fire every expired lease: receipt goes stale, message re-queues. Walking
+    /// the whole store in index order is the contract — messages expiring by
+    /// the same reconciliation instant re-queue in message-index order.
+    fn reconcile(&mut self, now: f64) {
+        for idx in 0..self.msgs.len() {
+            let m = &mut self.msgs[idx];
+            if m.deleted || !m.invisible_until.is_some_and(|t| t <= now) {
+                continue;
+            }
+            m.invisible_until = None;
+            m.current_receipt = None;
+            if !m.queued {
+                m.queued = true;
+                self.visible.push(idx);
+            }
+        }
+    }
+
+    fn receive(&mut self, now: f64) -> Option<(u32, u64, u32)> {
+        self.reconcile(now);
+        while !self.visible.is_empty() {
+            let idx = self.visible.remove(0);
+            let m = &mut self.msgs[idx];
+            m.queued = false;
+            if m.deleted {
+                continue;
+            }
+            if m.invisible_until.is_some_and(|t| t > now) {
+                continue; // re-leased while queued; expiry will re-queue it
+            }
+            if m.receive_count >= self.max_receive {
+                m.deleted = true;
+                m.invisible_until = None;
+                m.current_receipt = None;
+                self.dead.push(m.body);
+                continue;
+            }
+            m.receive_count += 1;
+            if m.first_received_at.is_none() {
+                m.first_received_at = Some(now);
+            }
+            m.invisible_until = Some(now + self.visibility_secs);
+            let receipt = self.next_receipt;
+            self.next_receipt += 1;
+            m.current_receipt = Some(receipt);
+            return Some((m.body, receipt, m.receive_count));
+        }
+        None
+    }
+
+    /// Linear receipt resolution; `None` means stale.
+    fn find(&self, receipt: u64) -> Option<usize> {
+        self.msgs.iter().position(|m| !m.deleted && m.current_receipt == Some(receipt))
+    }
+
+    fn delete(&mut self, receipt: u64) -> bool {
+        match self.find(receipt) {
+            Some(idx) => {
+                self.msgs[idx].deleted = true;
+                self.msgs[idx].current_receipt = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn change_visibility(&mut self, receipt: u64, now: f64, timeout: f64) -> bool {
+        match self.find(receipt) {
+            Some(idx) => {
+                self.msgs[idx].invisible_until = Some(now + timeout);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn force_visible(&mut self, receipt: u64) -> bool {
+        match self.find(receipt) {
+            Some(idx) => {
+                let m = &mut self.msgs[idx];
+                m.invisible_until = None;
+                if !m.queued {
+                    m.queued = true;
+                    self.visible.push(idx);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn queue_wait(&self, receipt: u64) -> Option<f64> {
+        let idx = self.find(receipt)?;
+        let m = &self.msgs[idx];
+        m.first_received_at.map(|t| t - m.sent_at)
+    }
+
+    fn pending_count(&self) -> usize {
+        self.msgs.iter().filter(|m| !m.deleted).count()
+    }
+
+    fn visible_count(&mut self, now: f64) -> usize {
+        self.reconcile(now);
+        self.visible
+            .iter()
+            .filter(|&&i| {
+                let m = &self.msgs[i];
+                !m.deleted && m.invisible_until.is_none_or(|t| t <= now)
+            })
+            .count()
+    }
+
+    fn in_flight_count(&self, now: f64) -> usize {
+        self.msgs
+            .iter()
+            .filter(|m| !m.deleted && m.invisible_until.is_some_and(|t| t > now))
+            .count()
+    }
+
+    fn dead_letters(&self) -> &[u32] {
+        &self.dead
     }
 }
