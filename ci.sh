@@ -12,6 +12,11 @@ cargo test -q --release --offline -p telemetry schema_matches_golden
 # Perfetto trace and OpenMetrics exposition are byte-pinned in tests/golden/.
 cargo test -q --release --offline -p atlas-integration-tests --test telemetry_export \
     perfetto_and_openmetrics_exports_match_goldens
+# The trace-query layer's text rendering (group-by tables and the chaos diff
+# attribution waterfall over the fixed-seed mini-campaign) is byte-pinned too:
+# a drift here means either the query engine or the recorded log moved.
+cargo test -q --release --offline -p atlas-integration-tests --test trace_query \
+    trace_query_text_matches_golden
 # The SLO engine's OpenMetrics exposition (sketch summaries, budget gauges,
 # ledger rollups) is pinned the same way, alongside its pure-observer proof.
 cargo test -q --release --offline -p atlas-integration-tests --test slo_campaign

@@ -58,8 +58,21 @@ pub fn stripped_event_log(report: &CampaignReport) -> Option<String> {
 }
 
 impl EngineComparison {
+    /// Differential attribution between the two runs: where the seconds and
+    /// dollars moved, per ledger category / accession / instance /
+    /// critical-path edge. For a true replay this is exactly empty
+    /// (`DiffReport::is_empty`); on divergence it is the root-cause table.
+    pub fn attribution(&self) -> telemetry::DiffReport {
+        telemetry::diff(
+            &self.first.run_profile("first"),
+            &self.replay.run_profile("replay"),
+        )
+    }
+
     /// Check byte-for-byte equivalence. `Ok(())` when the runs agree;
-    /// otherwise every observed divergence, labeled.
+    /// otherwise every observed divergence, labeled, followed by the
+    /// [`Self::attribution`] waterfall so the failure says *where* the runs
+    /// drifted, not just that they did.
     pub fn assert_equivalent(&self) -> Result<(), String> {
         let mut diffs: Vec<String> = Vec::new();
         let (l, k) = (&self.first, &self.replay);
@@ -138,7 +151,7 @@ impl EngineComparison {
         if diffs.is_empty() {
             Ok(())
         } else {
-            Err(diffs.join("; "))
+            Err(format!("{}\n{}", diffs.join("; "), self.attribution().render_text()))
         }
     }
 }

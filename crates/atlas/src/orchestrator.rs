@@ -36,7 +36,7 @@ use crate::AtlasError;
 use cloudsim::cost::CostReport;
 use cloudsim::faults::FaultPlan;
 use cloudsim::instance::{InstanceId, InstanceType};
-use cloudsim::metrics::FaultCounters;
+use cloudsim::faults::FaultCounters;
 use cloudsim::retry::RetryPolicy;
 use cloudsim::sqs::ReceiptHandle;
 use cloudsim::{ScalingPolicy, SimDuration, SpotMarket};
@@ -301,6 +301,58 @@ impl CampaignReport {
         eat(&self.cost.total_usd.to_bits().to_le_bytes());
         eat(&self.cost.wasted_usd.to_bits().to_le_bytes());
         h
+    }
+
+    /// The run's [`telemetry::RunProfile`] for differential attribution
+    /// (`telemetry::diff`). Starts from whatever the event log alone carries
+    /// (per-instance waits/waste, event counts), then overrides with the
+    /// authoritative report quantities: makespan and total dollars from the
+    /// cost model, the latency/cost category decompositions from the
+    /// attribution ledger (so diff category deltas are bit-exact deltas of
+    /// ledger totals), per-accession turnarounds from ledger entries, and
+    /// critical-path edges (`accession/dominant_stage`) from the telemetry
+    /// section. Purely derived — reads the report, mutates nothing.
+    pub fn run_profile(&self, label: &str) -> telemetry::RunProfile {
+        let mut p = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| telemetry::RunProfile::from_event_log(label, &t.event_log).ok())
+            .unwrap_or_default();
+        p.label = label.to_string();
+        p.makespan_secs = self.makespan.as_secs();
+        p.cost_usd = self.cost.total_usd;
+        if let Some(slo) = &self.slo {
+            let t = &slo.totals;
+            p.latency_categories = vec![
+                ("queue_wait".to_string(), t.queue_wait_secs),
+                ("download".to_string(), t.download_secs),
+                ("align".to_string(), t.align_secs),
+                ("collect".to_string(), t.collect_secs),
+                ("retry_waste".to_string(), t.retry_waste_secs),
+                ("idle_gap".to_string(), t.idle_gap_secs),
+            ];
+            p.cost_categories = vec![
+                ("compute".to_string(), t.compute_usd),
+                ("retry".to_string(), t.retry_usd),
+                ("idle_amortized".to_string(), t.idle_amortized_usd),
+            ];
+            p.per_accession_secs = slo
+                .ledger
+                .iter()
+                .map(|e| (e.accession.clone(), e.turnaround_secs))
+                .collect();
+            p.per_accession_secs.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        if let Some(t) = &self.telemetry {
+            p.critical_edges = t
+                .critical_path
+                .per_accession
+                .iter()
+                .map(|a| (format!("{}/{}", a.accession, a.dominant_stage), a.dominant_secs))
+                .collect();
+            p.critical_edges.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        p
     }
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! bench_compare <baseline_dir> <fresh_dir> [--tolerance 0.25]
 //! bench_compare --overhead <dir> <base.json> <with.json> [--tolerance 0.02]
+//! bench_compare --attribute <logA> <logB>
 //! ```
 //!
 //! Directory mode: every `BENCH_*.json` in the baseline directory (telemetry
@@ -18,6 +19,12 @@
 //! bench run — id by id, against a tight tolerance. This is the monitor-overhead
 //! gate: `BENCH_cloud_campaign_monitor.json` must stay within 2% of
 //! `BENCH_cloud_campaign.json`.
+//!
+//! Attribution mode (`--attribute`): when a regression *does* fire, compare the
+//! two runs' saved NDJSON event logs (`cloud_atlas --log-out`, or any recorded
+//! campaign log) and print the `telemetry::diff` waterfall — which phases,
+//! accessions and instances moved — so a CI bench regression ships with a
+//! root-cause table instead of a bare ratio.
 //!
 //! The parser is deliberately hand-rolled for the shim's flat schema
 //! (`{"group":...,"results":[{"id","mean_secs","iters","throughput_per_sec"}]}`):
@@ -36,8 +43,10 @@ fn main() -> ExitCode {
     let mut positional: Vec<PathBuf> = Vec::new();
     let mut tolerance = None::<f64>;
     let mut overhead = false;
+    let mut attribute = false;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--help" | "-h" => return help(),
             "--tolerance" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse::<f64>() {
@@ -46,8 +55,19 @@ fn main() -> ExitCode {
                 }
             }
             "--overhead" => overhead = true,
+            "--attribute" => attribute = true,
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown flag {flag:?}"));
+            }
             _ => positional.push(PathBuf::from(a)),
         }
+    }
+
+    if attribute {
+        let [log_a, log_b] = positional.as_slice() else {
+            return usage("--attribute needs <logA> <logB> (saved NDJSON event logs)");
+        };
+        return attribute_logs(log_a, log_b);
     }
 
     if overhead {
@@ -133,11 +153,51 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "\
+usage: bench_compare <baseline_dir> <fresh_dir> [--tolerance 0.25]
+       bench_compare --overhead <dir> <base.json> <with.json> [--tolerance 0.02]
+       bench_compare --attribute <logA> <logB>
+       bench_compare --help
+
+modes:
+  directory  every BENCH_*.json in <baseline_dir> must exist in <fresh_dir>
+             and no benchmark id may be slower than mean*(1+tolerance)
+  --overhead compare two named reports from the same directory id-by-id
+             against a tight budget (the monitor/SLO 2% gates)
+  --attribute diff two saved NDJSON campaign event logs and print the
+             telemetry::diff attribution waterfall (root cause for a
+             regression the other modes only detect)";
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("bench_compare: {err}");
-    eprintln!("usage: bench_compare <baseline_dir> <fresh_dir> [--tolerance 0.25]");
-    eprintln!("       bench_compare --overhead <dir> <base.json> <with.json> [--tolerance 0.02]");
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
+}
+
+fn help() -> ExitCode {
+    println!("bench_compare: criterion-shim bench-regression gate");
+    println!("{USAGE}");
+    ExitCode::SUCCESS
+}
+
+/// Attribution mode: diff two saved event logs and print the waterfall.
+fn attribute_logs(log_a: &Path, log_b: &Path) -> ExitCode {
+    let load = |path: &Path| -> Result<telemetry::RunProfile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        telemetry::RunProfile::from_event_log(&path.display().to_string(), &text)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let a = match load(log_a) {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+    let b = match load(log_b) {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+    print!("{}", telemetry::diff(&a, &b).render_text());
+    ExitCode::SUCCESS
 }
 
 /// Overhead mode: `with` must match `base` id-for-id within `tolerance`, both

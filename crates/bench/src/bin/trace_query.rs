@@ -1,0 +1,112 @@
+//! Query and diff saved NDJSON campaign event logs from the command line.
+//!
+//! ```text
+//! trace_query query <log.ndjson> [--kind k1,k2] [--where field=value]
+//!                   [--since s] [--until s] [--group-by f1,f2]
+//!                   [--agg count|sum:f|min:f|max:f|quantiles:f]... [--json]
+//! trace_query diff <logA.ndjson> <logB.ndjson> [--json]
+//! ```
+//!
+//! `query` streams the log once through `telemetry::query` (filter → group-by
+//! → count/sum/min/max/quantile aggregates) and prints a fixed-width table, or
+//! the equivalent JSON document with `--json`. `diff` extracts a
+//! `telemetry::RunProfile` from each log and prints the `telemetry::diff`
+//! attribution waterfall: where the seconds moved between the two runs.
+//!
+//! Both outputs are byte-deterministic for fixed inputs — the query path is
+//! golden-pinned in CI against the fixed-seed mini-campaign
+//! (`tests/golden/trace_query.txt`). Logs come from
+//! `cloud_atlas --log-out <path>` or any saved `CampaignTelemetry::event_log`.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: trace_query query <log.ndjson> [filters] [--group-by f1,f2] [--agg ...] [--json]
+       trace_query diff <logA.ndjson> <logB.ndjson> [--json]
+       trace_query --help
+
+query filters/aggregates:
+  --kind k1,k2          keep only these event kinds
+  --where field=value   keep only events whose field renders equal to value
+  --since s / --until s keep only events inside the time window (sim seconds)
+  --group-by f1,f2      group surviving events by these fields
+  --agg count           events per group (default)
+  --agg sum:field       sum of a numeric field per group
+  --agg min:field / max:field
+  --agg quantiles:field p50/p95/p99 via a mergeable quantile sketch
+  --json                emit the JSON document instead of the text table";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") => {
+            println!("trace_query: query and diff saved NDJSON campaign event logs");
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("query") => run_query(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        Some(other) => usage(&format!("unknown subcommand {other:?}")),
+        None => usage("missing subcommand"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("trace_query: {err}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Split off a trailing `--json` flag; everything else passes through.
+fn take_json_flag(args: &[String]) -> (Vec<String>, bool) {
+    let json = args.iter().any(|a| a == "--json");
+    (args.iter().filter(|a| *a != "--json").cloned().collect(), json)
+}
+
+fn read_log(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_query(args: &[String]) -> ExitCode {
+    let (args, json) = take_json_flag(args);
+    let Some((path, query_args)) = args.split_first() else {
+        return usage("query needs a <log.ndjson> path");
+    };
+    let query = match telemetry::Query::parse_args(query_args) {
+        Ok(q) => q,
+        Err(e) => return usage(&e),
+    };
+    let log = match read_log(path) {
+        Ok(l) => l,
+        Err(e) => return usage(&e),
+    };
+    match query.run(&log) {
+        Ok(result) => {
+            print!("{}", if json { result.render_json() } else { result.render_text() });
+            ExitCode::SUCCESS
+        }
+        Err(e) => usage(&format!("{path}: {e}")),
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let (args, json) = take_json_flag(args);
+    let [path_a, path_b] = args.as_slice() else {
+        return usage("diff needs <logA.ndjson> <logB.ndjson>");
+    };
+    let profile = |path: &str| -> Result<telemetry::RunProfile, String> {
+        let log = read_log(path)?;
+        telemetry::RunProfile::from_event_log(path, &log).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = match profile(path_a) {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+    let b = match profile(path_b) {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+    let report = telemetry::diff(&a, &b);
+    print!("{}", if json { report.render_json() } else { report.render_text() });
+    ExitCode::SUCCESS
+}

@@ -13,7 +13,6 @@
 //! instance's fault stream is independent of fleet size. That is what makes chaos
 //! campaigns replayable bit-for-bit and failures bisectable.
 
-use crate::metrics::FaultCounters;
 use crate::retry::RetryPolicy;
 use crate::time::{SimDuration, SimTime};
 use crate::CloudError;
@@ -210,6 +209,60 @@ fn mix64(mut z: u64) -> u64 {
 fn unit(seed: u64, serial: u64, stream: u64, counter: u64) -> f64 {
     let h = mix64(seed ^ mix64(serial ^ mix64(stream ^ mix64(counter))));
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Tallies of injected faults and retry activity over a chaos campaign.
+///
+/// Filled in by [`FaultInjector`] and quoted by campaign reports so a chaos
+/// run documents exactly how much adversity it survived.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Transient S3 GET failures injected.
+    pub s3_get_faults: u64,
+    /// Transient S3 PUT failures injected.
+    pub s3_put_faults: u64,
+    /// Transient SQS receive failures injected.
+    pub sqs_receive_faults: u64,
+    /// Transient SQS delete failures injected.
+    pub sqs_delete_faults: u64,
+    /// Transient SQS visibility-change failures injected.
+    pub sqs_extend_faults: u64,
+    /// Duplicate deliveries injected (message left visible after receive).
+    pub duplicate_deliveries: u64,
+    /// Worker crashes injected mid-pipeline.
+    pub worker_crashes: u64,
+    /// Failed attempts that consumed a retry.
+    pub retry_attempts: u64,
+    /// Operations that failed every attempt of their retry policy.
+    pub retries_exhausted: u64,
+    /// Total simulated seconds slept in retry backoff.
+    pub retry_backoff_secs: f64,
+}
+
+impl FaultCounters {
+    /// Record one injected fault of kind `op`.
+    pub fn count(&mut self, op: FaultOp) {
+        match op {
+            FaultOp::S3Get => self.s3_get_faults += 1,
+            FaultOp::S3Put => self.s3_put_faults += 1,
+            FaultOp::SqsReceive => self.sqs_receive_faults += 1,
+            FaultOp::SqsDelete => self.sqs_delete_faults += 1,
+            FaultOp::SqsExtend => self.sqs_extend_faults += 1,
+            FaultOp::DuplicateDelivery => self.duplicate_deliveries += 1,
+            FaultOp::WorkerCrash => self.worker_crashes += 1,
+        }
+    }
+
+    /// Total injected faults across all operation kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.s3_get_faults
+            + self.s3_put_faults
+            + self.sqs_receive_faults
+            + self.sqs_delete_faults
+            + self.sqs_extend_faults
+            + self.duplicate_deliveries
+            + self.worker_crashes
+    }
 }
 
 /// Stateful view over a [`FaultPlan`]: tracks per-`(instance, op)` attempt counters,

@@ -19,8 +19,6 @@
 //! * [`asg`] — AutoScalingGroup sizing instances from queue backlog.
 //! * [`cost`] — instance-seconds × price accounting (the "minimize cloud costs"
 //!   goal the paper optimizes for).
-//! * [`metrics`] — time-series telemetry (fleet size, queue depth) with
-//!   time-weighted summary statistics for campaign reports.
 //!
 //! Nothing here sleeps or talks to a network: time advances only through the event
 //! queue, so campaigns over thousands of accessions simulate in milliseconds.
@@ -32,7 +30,6 @@ pub mod error;
 pub mod event;
 pub mod faults;
 pub mod instance;
-pub mod metrics;
 pub mod retry;
 pub mod s3;
 pub mod spot;
@@ -44,9 +41,8 @@ pub use cost::CostTracker;
 pub use devent::{Kernel, KernelStats, TimerId};
 pub use error::CloudError;
 pub use event::EventQueue;
-pub use faults::{FaultEvent, FaultInjector, FaultOp, FaultPlan, SpotBurst};
+pub use faults::{FaultCounters, FaultEvent, FaultInjector, FaultOp, FaultPlan, SpotBurst};
 pub use instance::{Instance, InstanceId, InstanceState, InstanceType, INSTANCE_CATALOG};
-pub use metrics::FaultCounters;
 pub use retry::RetryPolicy;
 pub use s3::ObjectStore;
 pub use spot::SpotMarket;

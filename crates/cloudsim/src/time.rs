@@ -161,6 +161,17 @@ mod tests {
     }
 
     #[test]
+    fn series_takes_sim_seconds() {
+        // The series lives in `telemetry`; callers pass `SimTime::as_secs()`.
+        let mut s = telemetry::TimeSeries::new();
+        s.record(SimTime::from_secs(0.0).as_secs(), 2.0);
+        s.record(SimTime::from_secs(10.0).as_secs(), 4.0);
+        assert!((s.integral_until(SimTime::from_secs(15.0).as_secs()) - 40.0).abs() < 1e-12);
+        assert_eq!(s.peak(), 4.0);
+        assert_eq!(s.min(), 2.0);
+    }
+
+    #[test]
     fn ordering_is_total() {
         let mut v = vec![SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.5)];
         v.sort();

@@ -29,11 +29,13 @@
 //! fixed campaign seed, the serialized event log and every histogram quantile are
 //! byte-identical across runs (`tests/tests/telemetry.rs` proves it).
 
+pub mod diff;
 pub mod events;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod monitor;
+pub mod query;
 pub mod recorder;
 pub mod report;
 pub mod series;
@@ -41,11 +43,13 @@ pub mod sketch;
 pub mod slo;
 pub mod span;
 
+pub use diff::{diff, DiffEntry, DiffReport, DiffSection, RunProfile};
 pub use events::EventRecord;
 pub use export::{collapsed_stacks, openmetrics, openmetrics_from, perfetto_trace, perfetto_trace_from};
 pub use json::JsonValue;
 pub use metrics::{Histogram, MetricsRegistry, RATE_BUCKETS, SECS_BUCKETS};
 pub use monitor::{AlertEvent, AlertRule, Cmp, Condition, Guard, Monitor, MonitorConfig, Signal};
+pub use query::{Agg, Query, QueryResult};
 pub use recorder::{Recorder, StreamObserver};
 pub use report::{summarize, AccessionPath, CampaignTelemetry, CriticalPath, StageStats};
 pub use series::TimeSeries;

@@ -17,6 +17,11 @@
 //! (counters, gauges, histograms, SLO quantile-sketch summaries) as an
 //! OpenMetrics text exposition — point `promtool` or any Prometheus scraper
 //! tooling at it.
+//!
+//! `--log-out <path>` writes the raw NDJSON event log — feed it to the
+//! `trace_query` bin to ask questions about the run, or save logs from two
+//! seeds (`--seed <n>` perturbs the spot market) and `trace_query diff` them
+//! to see where the seconds moved.
 
 use atlas_pipeline::experiments::{paper_scale_sizer, Substrate};
 use atlas_pipeline::orchestrator::{CampaignConfig, Orchestrator};
@@ -32,6 +37,8 @@ use telemetry::{MonitorConfig, SloConfig, SloRegistry};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut log_out: Option<String> = None;
+    let mut spot_seed: u64 = 11;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -42,6 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--metrics-out" => {
                 metrics_out =
                     Some(args.next().ok_or("--metrics-out needs a file path argument")?);
+            }
+            "--log-out" => {
+                log_out = Some(args.next().ok_or("--log-out needs a file path argument")?);
+            }
+            "--seed" => {
+                spot_seed = args
+                    .next()
+                    .ok_or("--seed needs an integer argument")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer argument")?;
             }
             other => return Err(format!("unknown argument: {other}").into()),
         }
@@ -80,7 +97,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let index_bytes = (sizer.index_gib * (1u64 << 30) as f64) as u64;
     let mut config = CampaignConfig::new(instance, index_bytes);
     config.spot = true;
-    config.spot_market = SpotMarket { price_factor: 0.35, interruptions_per_hour: 0.5, seed: 11 };
+    config.spot_market =
+        SpotMarket { price_factor: 0.35, interruptions_per_hour: 0.5, seed: spot_seed };
     config.scaling = ScalingPolicy { min_size: 0, max_size: 6, target_backlog_per_instance: 4 };
     // Watch the campaign live: stragglers, backlog growth, fault bursts, and
     // early-stop-eligible accessions fire alerts into the report.
@@ -112,6 +130,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = report.telemetry.as_ref().ok_or("--metrics-out requires telemetry enabled")?;
         std::fs::write(&path, &t.openmetrics_text)?;
         println!("\nwrote OpenMetrics exposition to {path}");
+    }
+
+    if let Some(path) = log_out {
+        let t = report.telemetry.as_ref().ok_or("--log-out requires telemetry enabled")?;
+        std::fs::write(&path, &t.event_log)?;
+        println!("\nwrote NDJSON event log to {path} — query it with the trace_query bin");
     }
 
     println!("\nfleet over time (active instances | pending messages):");
