@@ -12,6 +12,7 @@
 //! | [`fig4_early_stopping`] | Fig. 4 — early-stopping time savings over a catalog |
 //! | [`cloud_campaign`]      | Fig. 1+2 — the architecture end-to-end on the DES |
 //! | [`right_size_comparison`] | §III-A corollary — cost of 108- vs 111-sized fleets |
+//! | [`spot_recovery`]       | E7 — waste with vs without checkpoint/resume under a reclaim storm |
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -860,6 +861,147 @@ pub fn pseudo_early_stopping(config: &PseudoStudyConfig) -> Result<PseudoStudyRe
     })
 }
 
+// ---------------------------------------------------------------------------
+// E7 — graceful spot degradation (checkpointing under a reclaim storm)
+// ---------------------------------------------------------------------------
+
+/// Configuration for the spot-recovery study: the same seeded reclaim storm
+/// hits a modeled align-dominated campaign twice — once with checkpoint/resume
+/// armed, once without — and the ledger prices the difference.
+#[derive(Clone, Debug)]
+pub struct SpotRecoveryConfig {
+    /// Workload size (modeled accessions, ~10-minute align stages).
+    pub n_accessions: usize,
+    /// The reclaim storm, replayed identically into both arms.
+    pub burst: cloudsim::faults::SpotBurst,
+    /// Fault seed shared by both arms.
+    pub fault_seed: u64,
+    /// Probability a checkpoint write fails inside the notice window.
+    pub checkpoint_write_fail: f64,
+}
+
+impl Default for SpotRecoveryConfig {
+    fn default() -> Self {
+        SpotRecoveryConfig {
+            n_accessions: 60,
+            burst: cloudsim::faults::SpotBurst {
+                start_secs: 300.0,
+                duration_secs: 3600.0,
+                rate_per_hour: 18.0,
+            },
+            fault_seed: 42,
+            checkpoint_write_fail: 0.05,
+        }
+    }
+}
+
+/// One arm (recovery on or off) of the spot-recovery study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpotRecoveryArm {
+    /// Was checkpoint/resume armed?
+    pub recovery: bool,
+    /// Campaign makespan, seconds.
+    pub makespan_secs: f64,
+    /// Total spend.
+    pub total_usd: f64,
+    /// Reclaims that struck.
+    pub interruptions: usize,
+    /// Accessions completed / dead-lettered.
+    pub completed: usize,
+    /// Accessions that exhausted redelivery.
+    pub dead_lettered: usize,
+    /// Ledger total: seconds burned on attempts that produced nothing.
+    pub retry_waste_secs: f64,
+    /// Ledger total: seconds accessions sat between attempts.
+    pub idle_gap_secs: f64,
+    /// Ledger total: drained-attempt seconds a resumed attempt did not redo.
+    pub salvaged_secs: f64,
+    /// Checkpoints written / resumes that consumed one.
+    pub checkpoints_written: usize,
+    /// Resumed attempts.
+    pub resumes: usize,
+}
+
+/// The spot-recovery study result: both arms under the identical storm.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpotRecoveryResult {
+    /// Checkpoint/resume armed.
+    pub with_recovery: SpotRecoveryArm,
+    /// The pre-existing drop-everything path.
+    pub without_recovery: SpotRecoveryArm,
+}
+
+impl SpotRecoveryResult {
+    /// Fraction of the non-recovery arm's burned time (retry waste + idle gap)
+    /// that checkpointing eliminated.
+    pub fn waste_reduction_fraction(&self) -> f64 {
+        let off = self.without_recovery.retry_waste_secs + self.without_recovery.idle_gap_secs;
+        let on = self.with_recovery.retry_waste_secs + self.with_recovery.idle_gap_secs;
+        if off <= 0.0 {
+            0.0
+        } else {
+            (off - on) / off
+        }
+    }
+}
+
+/// Run the spot-recovery study (E7): the Fig. 4-style waste chart for graceful
+/// degradation — same seed, checkpointing on vs off.
+pub fn spot_recovery(config: &SpotRecoveryConfig) -> Result<SpotRecoveryResult, AtlasError> {
+    let run_arm = |recovery: bool| -> Result<SpotRecoveryArm, AtlasError> {
+        let t = cloudsim::instance::InstanceType::by_name("r6a.xlarge")
+            .map_err(AtlasError::Cloud)?;
+        let mut cfg = CampaignConfig::new(t, 30_000_000_000);
+        cfg.scaling = cloudsim::ScalingPolicy {
+            min_size: 0,
+            max_size: 8,
+            target_backlog_per_instance: 4,
+        };
+        cfg.spot_market =
+            cloudsim::SpotMarket { price_factor: 0.35, interruptions_per_hour: 0.0, seed: 11 };
+        cfg.faults = Some(cloudsim::FaultPlan {
+            seed: config.fault_seed,
+            checkpoint_write_fail: config.checkpoint_write_fail,
+            spot_bursts: vec![config.burst],
+            ..cloudsim::FaultPlan::default()
+        });
+        cfg.max_receive_count = Some(10);
+        cfg.slo = Some(telemetry::SloConfig::default());
+        if recovery {
+            cfg.recovery = Some(crate::recovery::RecoveryConfig::default());
+        }
+        let ids = crate::workload::ModeledWorkload::accessions(config.n_accessions);
+        let report = Orchestrator::with_workload(
+            crate::workload::ModeledWorkload::default().into_workload(),
+            cfg,
+        )?
+        .run(&ids)?;
+        let totals = report.slo.as_ref().expect("slo configured").totals.clone();
+        let count_kind = |kind: &str| {
+            let tag = format!("\"kind\":\"{kind}\"");
+            report
+                .telemetry
+                .as_ref()
+                .map(|t| t.event_log.lines().filter(|l| l.contains(&tag)).count())
+                .unwrap_or(0)
+        };
+        Ok(SpotRecoveryArm {
+            recovery,
+            makespan_secs: report.makespan.as_secs(),
+            total_usd: report.cost.total_usd,
+            interruptions: report.interruptions,
+            completed: report.completed.len(),
+            dead_lettered: report.dead_lettered.len(),
+            retry_waste_secs: totals.retry_waste_secs,
+            idle_gap_secs: totals.idle_gap_secs,
+            salvaged_secs: totals.salvaged_secs,
+            checkpoints_written: count_kind("checkpoint"),
+            resumes: count_kind("resume"),
+        })
+    };
+    Ok(SpotRecoveryResult { with_recovery: run_arm(true)?, without_recovery: run_arm(false)? })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -962,5 +1104,25 @@ mod tests {
         assert!((inverse_normal_cdf(0.975) - 1.96).abs() < 0.01);
         assert!((inverse_normal_cdf(0.025) + 1.96).abs() < 0.01);
         assert!(inverse_normal_cdf(0.0001) < -3.0);
+    }
+
+    #[test]
+    fn spot_recovery_study_recovers_waste() {
+        let cfg = SpotRecoveryConfig { n_accessions: 20, ..SpotRecoveryConfig::default() };
+        let r = spot_recovery(&cfg).unwrap();
+        assert!(r.with_recovery.interruptions > 0, "premise: the storm struck");
+        assert!(r.without_recovery.interruptions > 0);
+        assert_eq!(
+            r.with_recovery.completed + r.with_recovery.dead_lettered,
+            cfg.n_accessions
+        );
+        assert!(r.with_recovery.salvaged_secs > 0.0);
+        assert_eq!(r.without_recovery.salvaged_secs, 0.0);
+        assert!(r.with_recovery.checkpoints_written > 0);
+        assert!(r.with_recovery.resumes > 0);
+        assert!(r.waste_reduction_fraction() > 0.0, "checkpointing must cut burned time");
+        let text = crate::report::render_spot_recovery(&r);
+        assert!(text.contains("E7"));
+        assert!(text.contains("waste reduction:"));
     }
 }

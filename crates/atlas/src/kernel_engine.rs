@@ -32,8 +32,10 @@ use crate::orchestrator::{
     FleetSample,
 };
 use crate::pipeline::{PipelineResult, StageTimes};
+use crate::recovery::CheckpointStore;
 use crate::workload::CampaignWorkload;
 use crate::AtlasError;
+use cloudsim::sqs::ReceiptHandle;
 use bytes::Bytes;
 use cloudsim::asg::AutoScalingGroup;
 use cloudsim::cost::CostTracker;
@@ -46,7 +48,7 @@ use telemetry::{JsonValue, Monitor, Recorder, SpanId, TimeSeries, RATE_BUCKETS, 
 /// `InstanceId.0`, ids count from 1). The instance lifecycle itself
 /// (Initializing → Running → Terminated) lives in [`cloudsim::Instance`]; this
 /// adds the orchestration-side job state.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Worker {
     /// Epoch of the job this worker is busy on (`None` = idle). Epochs are
     /// unique per job start, so a stale `JobDone`/`WorkerCrash` event from a
@@ -54,6 +56,22 @@ struct Worker {
     busy_epoch: Option<u64>,
     /// The instance's open telemetry span, until it terminates.
     span: Option<SpanId>,
+    /// What the worker is busy on, tracked only when recovery is enabled so a
+    /// spot-notice drain can checkpoint the job and hand its message back.
+    /// `Some` iff `busy_epoch` is `Some` (on recovery campaigns).
+    inflight: Option<Box<InflightJob>>,
+}
+
+/// The drain-relevant facts about a running job, captured at dispatch.
+#[derive(Clone, Debug)]
+struct InflightJob {
+    accession: String,
+    receipt: ReceiptHandle,
+    started_secs: f64,
+    /// Stage durations of this attempt (align already reduced on resume).
+    stage_secs: StageTimes,
+    /// Cumulative align offset this attempt resumed from (0 for fresh starts).
+    resumed_from: f64,
 }
 
 fn widx(id: InstanceId) -> usize {
@@ -133,6 +151,16 @@ pub(crate) fn run_campaign(
     store.put("index/manifest", Bytes::from_static(b"star-index manifest"));
     let mut duplicate_completions = 0u64;
     let mut wasted_secs = 0.0f64;
+    // ——— Recovery state (untouched when `cfg.recovery` is off) ———
+    let recovery_on = cfg.recovery.is_some();
+    let ckpt_ttl = cfg.recovery.map(|r| r.checkpoint_ttl_secs).unwrap_or(0.0);
+    let mut ckpt_store = CheckpointStore::new();
+    // Checkpointed seconds not yet reused by a resumed completion; the leftover
+    // reclassifies as waste at settlement so drained time is accounted exactly
+    // once (salvaged or lost).
+    let mut pending_salvage: BTreeMap<String, f64> = BTreeMap::new();
+    let mut salvaged_by_acc: BTreeMap<String, f64> = BTreeMap::new();
+    let mut salvaged_secs_total = 0.0f64;
 
     for a in accessions {
         sqs.send(a.clone());
@@ -197,7 +225,7 @@ pub(crate) fn run_campaign(
                             ("spot", cfg.spot.to_string()),
                         ],
                     );
-                    workers.push(Worker { busy_epoch: None, span: Some(span) });
+                    workers.push(Worker { busy_epoch: None, span: Some(span), inflight: None });
                     // Init starts with the manifest GET; a persistent S3
                     // failure kills the launch and the ASG replaces the
                     // instance at a later tick.
@@ -224,12 +252,25 @@ pub(crate) fn run_campaign(
                         }
                     }
                     if cfg.spot {
-                        if let Some(t) = cfg.spot_market.sample_interruption(now, instance_serial)
+                        // One reclaim pipeline for market-sampled and
+                        // fault-plan burst interruptions: identical schedule
+                        // (and digest) to the pre-unification two-call form.
+                        // With recovery on, each reclaim is preceded by its
+                        // notice; scheduling the notice first makes the FIFO
+                        // tie-break dispatch it before a same-instant reclaim.
+                        for r in injector.reclaim_schedule(&cfg.spot_market, now, instance_serial)
                         {
-                            events.schedule(t, Event::Interruption(id));
-                        }
-                        if let Some(t) = injector.burst_interruption(now, instance_serial) {
-                            events.schedule(t, Event::Interruption(id));
+                            if recovery_on {
+                                events.schedule(
+                                    injector.notice_at(now, r.at),
+                                    Event::SpotNotice {
+                                        instance: id,
+                                        reclaim_at: r.at,
+                                        source: r.source,
+                                    },
+                                );
+                            }
+                            events.schedule(r.at, Event::Interruption(id));
                         }
                     }
                 }
@@ -261,6 +302,13 @@ pub(crate) fn run_campaign(
                 busy_series.record(now.as_secs(), busy_count as f64);
                 recorder.gauge_set_at(now.as_secs(), "fleet_active", asg.active_count() as f64);
                 recorder.gauge_set_at(now.as_secs(), "queue_pending", pending as f64);
+                if recovery_on {
+                    // Checkpoint-store housekeeping rides the ASG tick.
+                    let expired = ckpt_store.gc(now.as_secs(), ckpt_ttl);
+                    if expired > 0 {
+                        recorder.counter_add("checkpoints_expired", expired as u64);
+                    }
+                }
                 if results.len() + dl_only.len() < target {
                     events.schedule(now + cfg.scale_tick, Event::ScaleTick);
                 }
@@ -361,11 +409,38 @@ pub(crate) fn run_campaign(
                         // modeled align window. Without a monitor no progress
                         // events exist and the log is byte-identical to a
                         // monitor-free build.
-                        let (result, history) = if monitor.is_some() {
+                        let (mut result, history) = if monitor.is_some() {
                             workload.run_accession_with_history(&accession)?
                         } else {
                             (workload.run_accession(&accession)?, Vec::new())
                         };
+                        // Resume: a live checkpoint from a drained attempt lets
+                        // this one skip the already-aligned reads — the align
+                        // stage shrinks by the checkpointed offset. The star
+                        // crate's differential test is what entitles the model
+                        // to treat the resumed output as identical.
+                        let mut resumed_secs = 0.0f64;
+                        if recovery_on {
+                            if let Some(offset) =
+                                ckpt_store.get(&accession, now.as_secs(), ckpt_ttl)
+                            {
+                                let skip = offset.min(result.stage_secs.align_secs);
+                                if skip > 0.0 {
+                                    result.stage_secs.align_secs -= skip;
+                                    resumed_secs = skip;
+                                    recorder.event(
+                                        now.as_secs(),
+                                        "resume",
+                                        vec![
+                                            ("accession", JsonValue::from(accession.as_str())),
+                                            ("instance", JsonValue::from(id.0)),
+                                            ("skipped_secs", JsonValue::from(skip)),
+                                        ],
+                                    );
+                                    recorder.counter_add("checkpoint_resumes", 1);
+                                }
+                            }
+                        }
                         if !history.is_empty() {
                             emit_progress_events(
                                 &recorder,
@@ -380,6 +455,15 @@ pub(crate) fn run_campaign(
                         let epoch = next_epoch;
                         next_epoch += 1;
                         workers[widx(id)].busy_epoch = Some(epoch);
+                        if recovery_on {
+                            workers[widx(id)].inflight = Some(Box::new(InflightJob {
+                                accession: accession.clone(),
+                                receipt,
+                                started_secs: now.as_secs(),
+                                stage_secs: result.stage_secs,
+                                resumed_from: resumed_secs,
+                            }));
+                        }
                         busy_count += 1;
                         busy_series.record(now.as_secs(), busy_count as f64);
                         // A failed or stale lease extension leaves the base
@@ -430,6 +514,7 @@ pub(crate) fn run_campaign(
                                 accession,
                                 receipt,
                                 result: Box::new(result),
+                                resumed_secs,
                             },
                         );
                     }
@@ -444,17 +529,20 @@ pub(crate) fn run_campaign(
                     }
                 }
             }
-            Event::JobDone { instance, epoch, accession, receipt, result } => {
+            Event::JobDone { instance, epoch, accession, receipt, result, resumed_secs } => {
                 let alive = asg
                     .instance(instance)
                     .map(|i| i.state != InstanceState::Terminated)
                     .unwrap_or(false);
                 if !alive || workers[widx(instance)].busy_epoch != Some(epoch) {
-                    // The worker died mid-job (spot reclaim): the result is lost
-                    // and the message will re-deliver after its lease expires.
+                    // The worker died mid-job (spot reclaim) or drained and
+                    // handed the message back: the result is lost and the
+                    // message re-delivers (immediately after a drain, after
+                    // its lease expires otherwise).
                     continue;
                 }
                 workers[widx(instance)].busy_epoch = None;
+                workers[widx(instance)].inflight = None;
                 busy_count -= 1;
                 busy_series.record(now.as_secs(), busy_count as f64);
                 let serial = instance.0;
@@ -534,6 +622,20 @@ pub(crate) fn run_campaign(
                                 );
                                 slo_completed_at.insert(accession.clone(), now.as_secs());
                             }
+                            if recovery_on {
+                                // The checkpoint is consumed; any resumed
+                                // seconds are now provably salvaged compute.
+                                ckpt_store.remove(&accession);
+                                if resumed_secs > 0.0 {
+                                    salvaged_secs_total += resumed_secs;
+                                    *salvaged_by_acc
+                                        .entry(accession.clone())
+                                        .or_insert(0.0) += resumed_secs;
+                                    if let Some(p) = pending_salvage.get_mut(&accession) {
+                                        *p = (*p - resumed_secs).max(0.0);
+                                    }
+                                }
+                            }
                             // Completing an accession that had already been
                             // dead-lettered re-resolves it as completed.
                             dl_only.remove(&accession);
@@ -595,6 +697,7 @@ pub(crate) fn run_campaign(
                 // expires. A stale epoch means the job already finished.
                 if workers[widx(instance)].busy_epoch == Some(epoch) {
                     workers[widx(instance)].busy_epoch = None;
+                    workers[widx(instance)].inflight = None;
                     busy_count -= 1;
                     busy_series.record(now.as_secs(), busy_count as f64);
                     let parent = workers[widx(instance)].span.unwrap_or(campaign_span);
@@ -621,10 +724,130 @@ pub(crate) fn run_campaign(
                     events.schedule(now + cfg.poll_interval, Event::Poll(instance));
                 }
             }
+            Event::SpotNotice { instance, reclaim_at, source } => {
+                // The two-minute warning (only scheduled on recovery
+                // campaigns). The instance enters Draining: the Poll guard only
+                // fires on Running instances, so it stops pulling messages; a
+                // busy worker checkpoints its progress and hands its in-flight
+                // message straight back (visibility → 0) instead of letting the
+                // lease lapse after the reclaim.
+                let state = asg.instance(instance).map(|i| i.state);
+                if !matches!(
+                    state,
+                    Some(InstanceState::Initializing | InstanceState::Running)
+                ) {
+                    // Already terminated (an earlier reclaim beat this notice)
+                    // or already draining (overlapping notices): nothing to do.
+                    continue;
+                }
+                if let Some(inst) = asg.instance_mut(instance) {
+                    inst.mark_draining().map_err(AtlasError::Cloud)?;
+                }
+                recorder.event(
+                    now.as_secs(),
+                    "spot_notice",
+                    vec![
+                        ("instance", JsonValue::from(instance.0)),
+                        ("source", JsonValue::from(source.name())),
+                        ("lead_secs", JsonValue::from(reclaim_at.as_secs() - now.as_secs())),
+                    ],
+                );
+                recorder.counter_add("spot_notices", 1);
+                if workers[widx(instance)].busy_epoch.take().is_some() {
+                    busy_count -= 1;
+                    busy_series.record(now.as_secs(), busy_count as f64);
+                    let job = workers[widx(instance)]
+                        .inflight
+                        .take()
+                        .expect("recovery tracks every busy worker's in-flight job");
+                    let parent = workers[widx(instance)].span.unwrap_or(campaign_span);
+                    recorder.span_closed(
+                        "job",
+                        parent,
+                        job.started_secs,
+                        now.as_secs(),
+                        &[
+                            ("accession", job.accession.clone()),
+                            ("outcome", "drained".to_string()),
+                        ],
+                    );
+                    let elapsed = now.as_secs() - job.started_secs;
+                    // Align-stage seconds this attempt completed before the
+                    // notice; pre-align stages are not resumable.
+                    let align_done = (elapsed - job.stage_secs.prefix_secs(2))
+                        .clamp(0.0, job.stage_secs.align_secs);
+                    let mut checkpointed = 0.0f64;
+                    if !results.contains_key(&job.accession) && align_done > 0.0 {
+                        if injector.roll(instance.0, FaultOp::CheckpointPut) {
+                            // The checkpoint upload failed inside the notice
+                            // window; the progress will be redone.
+                            recorder.event(
+                                now.as_secs(),
+                                "checkpoint_failed",
+                                vec![
+                                    ("accession", JsonValue::from(job.accession.as_str())),
+                                    ("instance", JsonValue::from(instance.0)),
+                                ],
+                            );
+                        } else {
+                            let offset = job.resumed_from + align_done;
+                            ckpt_store.put(&job.accession, offset, now.as_secs());
+                            checkpointed = align_done;
+                            *pending_salvage.entry(job.accession.clone()).or_insert(0.0) +=
+                                align_done;
+                            recorder.event(
+                                now.as_secs(),
+                                "checkpoint",
+                                vec![
+                                    ("accession", JsonValue::from(job.accession.as_str())),
+                                    ("instance", JsonValue::from(instance.0)),
+                                    ("offset_secs", JsonValue::from(offset)),
+                                ],
+                            );
+                            recorder.counter_add("checkpoints_written", 1);
+                        }
+                    }
+                    // Checkpointed seconds stay optimistically out of the
+                    // waste pool; if no resumed attempt reuses them,
+                    // settlement reclassifies the leftover as lost.
+                    let waste_now = (elapsed - checkpointed).max(0.0);
+                    wasted_secs += waste_now;
+                    if slo_on {
+                        *slo_retry_waste.entry(job.accession.clone()).or_insert(0.0) +=
+                            waste_now;
+                    }
+                    recorder.event(
+                        now.as_secs(),
+                        "drain",
+                        vec![
+                            ("instance", JsonValue::from(instance.0)),
+                            ("accession", JsonValue::from(job.accession.as_str())),
+                            ("handed_back", JsonValue::from(true)),
+                            ("checkpointed_secs", JsonValue::from(checkpointed)),
+                        ],
+                    );
+                    recorder.counter_add("drains", 1);
+                    // Graceful hand-back: visibility → 0 and the receipt is
+                    // invalidated, so the message re-delivers immediately. A
+                    // stale receipt (the broker already re-delivered) is fine.
+                    let _ = sqs.release(job.receipt);
+                } else {
+                    recorder.event(
+                        now.as_secs(),
+                        "drain",
+                        vec![
+                            ("instance", JsonValue::from(instance.0)),
+                            ("handed_back", JsonValue::from(false)),
+                        ],
+                    );
+                    recorder.counter_add("drains", 1);
+                }
+            }
             Event::Interruption(id) => {
                 if matches!(asg.terminate(id, now), Ok(true)) {
                     interruptions += 1;
                     let was_busy = workers[widx(id)].busy_epoch.take().is_some();
+                    workers[widx(id)].inflight = None;
                     if was_busy {
                         busy_count -= 1;
                     }
@@ -661,6 +884,17 @@ pub(crate) fn run_campaign(
     }
     for inst in asg.instances() {
         cost.charge(inst, end);
+    }
+    // Checkpointed progress no resumed attempt ever reused is lost compute
+    // after all: reclassify the leftover so every drained second is accounted
+    // exactly once (salvaged or wasted).
+    for (a, p) in &pending_salvage {
+        if *p > 0.0 {
+            wasted_secs += *p;
+            if slo_on {
+                *slo_retry_waste.entry(a.clone()).or_insert(0.0) += *p;
+            }
+        }
     }
     cost.attribute_waste(cfg.instance_type, cfg.spot, wasted_secs);
 
@@ -736,6 +970,7 @@ pub(crate) fn run_campaign(
                 stage_secs: results.get(a).expect("recorded").stage_secs,
                 ended_secs: slo_completed_at.get(a).copied().unwrap_or(end.as_secs()),
                 retry_waste_secs: slo_retry_waste.get(a).copied().unwrap_or(0.0),
+                salvaged_secs: salvaged_by_acc.get(a).copied().unwrap_or(0.0),
             })
             .collect();
         let (ledger, totals) = build_ledger(&inputs, slo_rate, cost.report().total_usd);
@@ -751,6 +986,12 @@ pub(crate) fn run_campaign(
             "slo_ledger_retry_waste_secs",
             totals.retry_waste_secs,
         );
+        if recovery_on {
+            // Only on recovery campaigns, so recovery-off OpenMetrics dumps
+            // (and their goldens) are byte-identical to pre-recovery builds.
+            recorder.gauge_set_at(end.as_secs(), "slo_ledger_salvaged_secs", totals.salvaged_secs);
+            recorder.gauge_set_at(end.as_secs(), "slo_ledger_lost_secs", totals.lost_secs);
+        }
         Some(SloReport { objectives, ledger, totals })
     } else {
         None
@@ -775,6 +1016,7 @@ pub(crate) fn run_campaign(
         fault_counters: injector.tallies().clone(),
         duplicate_completions,
         wasted_compute_secs: wasted_secs,
+        salvaged_compute_secs: salvaged_secs_total,
         telemetry: campaign_telemetry,
         alerts: monitor.map(|m| m.alerts()).unwrap_or_default(),
         sim_events: n_events,

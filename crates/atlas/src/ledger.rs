@@ -56,6 +56,19 @@ pub struct AccessionLedgerEntry {
     /// Clock-path seconds not covered by any part above (lease-expiry waits,
     /// re-delivery polling, scheduling slack).
     pub idle_gap_secs: f64,
+    /// Drained-attempt seconds a resumed attempt did *not* redo — compute
+    /// rescued by the checkpoint/resume path ([`crate::recovery`]). Those
+    /// seconds already sit inside the clock path (they happened before the
+    /// successful attempt started, so `idle_gap_secs` covers them); this field
+    /// labels them without changing [`Self::latency_parts`]. Always 0 when
+    /// recovery is off.
+    pub salvaged_secs: f64,
+    /// The recovery-aware name for `retry_waste_secs`: seconds this accession's
+    /// failed attempts truly burned. With recovery on, the old pre-recovery
+    /// retry waste splits into `salvaged_secs` (rescued) + `lost_secs` (burned);
+    /// with recovery off the split is trivial (`lost == retry_waste`, salvaged
+    /// 0). Kept equal to `retry_waste_secs` so existing part math is untouched.
+    pub lost_secs: f64,
     /// Submit → completion, seconds. Equals [`Self::fold`] of
     /// [`Self::latency_parts`] bit-exactly, by construction.
     pub turnaround_secs: f64,
@@ -114,6 +127,10 @@ pub struct LedgerTotals {
     pub retry_waste_secs: f64,
     /// Idle-gap seconds over entries.
     pub idle_gap_secs: f64,
+    /// Salvaged (checkpoint-rescued) seconds over entries.
+    pub salvaged_secs: f64,
+    /// Lost (truly burned) seconds over entries — equals `retry_waste_secs`.
+    pub lost_secs: f64,
     /// Turnaround seconds over entries.
     pub turnaround_secs: f64,
     /// Compute dollars over entries.
@@ -155,6 +172,9 @@ pub(crate) struct CompletedAccession {
     pub ended_secs: f64,
     /// Wasted seconds attributed to this accession's failed attempts.
     pub retry_waste_secs: f64,
+    /// Drained-attempt seconds rescued by checkpoint/resume (0 without
+    /// recovery).
+    pub salvaged_secs: f64,
 }
 
 /// Build the ledger: decompose each completed accession's turnaround, price the
@@ -202,6 +222,8 @@ pub(crate) fn build_ledger(
             collect_secs: collect,
             retry_waste_secs: c.retry_waste_secs,
             idle_gap_secs: idle_gap,
+            salvaged_secs: c.salvaged_secs,
+            lost_secs: c.retry_waste_secs,
             turnaround_secs: turnaround,
             compute_usd,
             retry_usd,
@@ -246,6 +268,8 @@ pub(crate) fn build_ledger(
         totals.collect_secs += e.collect_secs;
         totals.retry_waste_secs += e.retry_waste_secs;
         totals.idle_gap_secs += e.idle_gap_secs;
+        totals.salvaged_secs += e.salvaged_secs;
+        totals.lost_secs += e.lost_secs;
         totals.turnaround_secs += e.turnaround_secs;
         totals.compute_usd += e.compute_usd;
         totals.retry_usd += e.retry_usd;
@@ -271,7 +295,22 @@ mod tests {
             },
             ended_secs: ended,
             retry_waste_secs: waste,
+            salvaged_secs: 0.0,
         }
+    }
+
+    #[test]
+    fn salvaged_and_lost_label_the_waste_split() {
+        let mut c = completed("A", 200.0, 25.0);
+        c.salvaged_secs = 40.0;
+        let (entries, totals) = build_ledger(&[c], 1.0, 1.0);
+        let e = &entries[0];
+        assert_eq!(e.salvaged_secs, 40.0);
+        assert_eq!(e.lost_secs, e.retry_waste_secs, "lost is the recovery-aware alias");
+        // Salvaged seconds are informational: the 6-part latency fold is untouched.
+        assert_eq!(AccessionLedgerEntry::fold(&e.latency_parts()), e.turnaround_secs);
+        assert_eq!(totals.salvaged_secs, 40.0);
+        assert_eq!(totals.lost_secs, totals.retry_waste_secs);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Graceful spot degradation: recovery configuration and the checkpoint store.
+//!
+//! AWS precedes every spot reclaim with a ~2-minute interruption notice. With
+//! recovery enabled ([`crate::orchestrator::CampaignConfig::recovery`]) the
+//! campaign engine turns that notice into a *drain*: the worker stops pulling
+//! SQS messages, checkpoints its in-flight alignment progress to the (simulated)
+//! S3 checkpoint store, and hands the message straight back (visibility → 0)
+//! instead of letting the lease lapse. The next worker to receive the message
+//! resumes from the checkpoint and skips the already-aligned reads — the
+//! star-side contract ([`star_aligner::checkpoint::AlignCheckpoint`]) guarantees
+//! the resumed output is bit-identical, so the engine only needs to model the
+//! *time*: a resumed attempt's align stage shrinks by the checkpointed offset.
+//!
+//! Everything here is opt-in: with `recovery: None` the engine schedules the
+//! exact event sequence it always did — no notices, no extra fault rolls, no
+//! extra telemetry — and campaign digests and event logs are byte-identical to
+//! builds that predate the recovery layer.
+
+use std::collections::BTreeMap;
+
+use crate::AtlasError;
+use bytes::Bytes;
+use cloudsim::ObjectStore;
+
+/// Recovery-layer knobs. The notice lead time and the checkpoint-write failure
+/// probability live in the fault plan ([`cloudsim::FaultPlan::spot_notice_secs`],
+/// [`cloudsim::FaultPlan::checkpoint_write_fail`]) — they are properties of the
+/// simulated environment; this struct configures the worker-side policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryConfig {
+    /// Seconds a stored checkpoint stays usable. Expired checkpoints are
+    /// ignored by resume lookups and garbage-collected at scale ticks; the
+    /// progress they held is accounted as lost compute at settlement.
+    pub checkpoint_ttl_secs: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        // Generous relative to job durations: checkpoints survive several
+        // redelivery cycles but not a wedged campaign.
+        RecoveryConfig { checkpoint_ttl_secs: 7200.0 }
+    }
+}
+
+impl RecoveryConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), AtlasError> {
+        if !self.checkpoint_ttl_secs.is_finite() || self.checkpoint_ttl_secs <= 0.0 {
+            return Err(AtlasError::InvalidParams(
+                "recovery.checkpoint_ttl_secs must be finite and positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The simulated-S3 checkpoint store.
+///
+/// Checkpoint blobs live in a [`cloudsim::ObjectStore`] under
+/// `checkpoints/{accession}`; a side index carries the write timestamp for TTL
+/// enforcement and the align-offset for O(log n) lookup without re-parsing the
+/// blob. The engine stores the *modeled* checkpoint — the cumulative
+/// align-stage seconds completed — because at campaign scale the workload is
+/// modeled too; the byte-level `AlignCheckpoint` equivalence is proven once in
+/// the star crate and the engine only propagates its time consequence.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    store: ObjectStore,
+    index: BTreeMap<String, CheckpointMeta>,
+    expired_total: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CheckpointMeta {
+    written_at_secs: f64,
+    align_offset_secs: f64,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    fn key(accession: &str) -> String {
+        format!("checkpoints/{accession}")
+    }
+
+    /// Write (or overwrite) the checkpoint for an accession: cumulative
+    /// align-stage seconds completed across its drained attempts.
+    pub fn put(&mut self, accession: &str, align_offset_secs: f64, now_secs: f64) {
+        // The blob is the offset's exact bit pattern: deterministic bytes, so
+        // repeated campaigns store identical objects.
+        let blob = format!("align_offset_bits\t{:016x}\n", align_offset_secs.to_bits());
+        self.store.put(&Self::key(accession), Bytes::from(blob.into_bytes()));
+        self.index.insert(
+            accession.to_string(),
+            CheckpointMeta { written_at_secs: now_secs, align_offset_secs },
+        );
+    }
+
+    /// The stored align offset for an accession, if a live (non-expired)
+    /// checkpoint exists. Lookups are TTL-aware even before a GC pass runs.
+    pub fn get(&self, accession: &str, now_secs: f64, ttl_secs: f64) -> Option<f64> {
+        let meta = self.index.get(accession)?;
+        if now_secs - meta.written_at_secs > ttl_secs {
+            return None;
+        }
+        debug_assert!(self.store.head(&Self::key(accession)).is_ok(), "index/object stores agree");
+        Some(meta.align_offset_secs)
+    }
+
+    /// Drop an accession's checkpoint (consumed by a successful completion).
+    pub fn remove(&mut self, accession: &str) {
+        if self.index.remove(accession).is_some() {
+            self.store.delete(&Self::key(accession));
+        }
+    }
+
+    /// Garbage-collect expired checkpoints; returns how many were collected.
+    pub fn gc(&mut self, now_secs: f64, ttl_secs: f64) -> usize {
+        let expired: Vec<String> = self
+            .index
+            .iter()
+            .filter(|(_, m)| now_secs - m.written_at_secs > ttl_secs)
+            .map(|(a, _)| a.clone())
+            .collect();
+        for a in &expired {
+            self.remove(a);
+        }
+        self.expired_total += expired.len() as u64;
+        expired.len()
+    }
+
+    /// Live checkpoints currently stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no checkpoint is stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Checkpoints expired over the store's lifetime.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates_and_bad_ttls_do_not() {
+        RecoveryConfig::default().validate().unwrap();
+        assert!(RecoveryConfig { checkpoint_ttl_secs: 0.0 }.validate().is_err());
+        assert!(RecoveryConfig { checkpoint_ttl_secs: -5.0 }.validate().is_err());
+        assert!(RecoveryConfig { checkpoint_ttl_secs: f64::NAN }.validate().is_err());
+        assert!(RecoveryConfig { checkpoint_ttl_secs: f64::INFINITY }.validate().is_err());
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let mut s = CheckpointStore::new();
+        assert!(s.is_empty());
+        s.put("SRR1", 42.5, 100.0);
+        assert_eq!(s.get("SRR1", 150.0, 3600.0), Some(42.5));
+        assert_eq!(s.get("SRR2", 150.0, 3600.0), None);
+        assert_eq!(s.len(), 1);
+        // Overwrite refreshes both the offset and the TTL clock.
+        s.put("SRR1", 60.0, 200.0);
+        assert_eq!(s.get("SRR1", 250.0, 3600.0), Some(60.0));
+        s.remove("SRR1");
+        assert!(s.is_empty());
+        assert_eq!(s.get("SRR1", 250.0, 3600.0), None);
+    }
+
+    #[test]
+    fn expired_checkpoints_are_invisible_and_collectable() {
+        let mut s = CheckpointStore::new();
+        s.put("A", 10.0, 0.0);
+        s.put("B", 20.0, 500.0);
+        // TTL 600: at t=700, A (age 700) is expired, B (age 200) is live.
+        assert_eq!(s.get("A", 700.0, 600.0), None, "expired before GC runs");
+        assert_eq!(s.get("B", 700.0, 600.0), Some(20.0));
+        assert_eq!(s.gc(700.0, 600.0), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.expired_total(), 1);
+        // GC is idempotent until more expire.
+        assert_eq!(s.gc(700.0, 600.0), 0);
+        assert_eq!(s.gc(2000.0, 600.0), 1);
+        assert!(s.is_empty());
+        assert_eq!(s.expired_total(), 2);
+    }
+}

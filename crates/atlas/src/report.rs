@@ -4,7 +4,7 @@
 use crate::analysis::CheckpointAnalysis;
 use crate::experiments::{
     Fig3Result, Fig4Result, HashTradeoffResult, IndexComparison, PseudoStudyResult,
-    RightSizeComparison,
+    RightSizeComparison, SpotRecoveryArm, SpotRecoveryResult,
 };
 use crate::orchestrator::CampaignReport;
 use std::fmt::Write as _;
@@ -358,6 +358,43 @@ pub fn render_right_size(c: &RightSizeComparison) -> String {
         "init per instance", c.report_108.init_secs_per_instance, c.report_111.init_secs_per_instance
     );
     let _ = writeln!(out, "cost ratio 108/111: {:.1}x", c.cost_ratio());
+    out
+}
+
+/// Render the spot-recovery study (E7): the same reclaim storm with and without
+/// checkpoint/resume, priced by the attribution ledger — the Fig. 4-style waste
+/// chart for graceful degradation.
+pub fn render_spot_recovery(r: &SpotRecoveryResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "E7 — graceful spot degradation: checkpointing under a reclaim storm");
+    let _ = writeln!(out, "{:<24} {:>14} {:>14}", "", "recovery off", "recovery on");
+    let row = |out: &mut String, label: &str, f: &dyn Fn(&SpotRecoveryArm) -> String| {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>14}",
+            label,
+            f(&r.without_recovery),
+            f(&r.with_recovery)
+        );
+    };
+    row(&mut out, "interruptions", &|a| a.interruptions.to_string());
+    row(&mut out, "completed", &|a| a.completed.to_string());
+    row(&mut out, "dead-lettered", &|a| a.dead_lettered.to_string());
+    row(&mut out, "makespan", &|a| format!("{:.0}s", a.makespan_secs));
+    row(&mut out, "total cost", &|a| format!("${:.2}", a.total_usd));
+    row(&mut out, "retry waste", &|a| format!("{:.0}s", a.retry_waste_secs));
+    row(&mut out, "idle gap", &|a| format!("{:.0}s", a.idle_gap_secs));
+    row(&mut out, "burned (waste+gap)", &|a| {
+        format!("{:.0}s", a.retry_waste_secs + a.idle_gap_secs)
+    });
+    row(&mut out, "salvaged compute", &|a| format!("{:.0}s", a.salvaged_secs));
+    row(&mut out, "checkpoints written", &|a| a.checkpoints_written.to_string());
+    row(&mut out, "resumed attempts", &|a| a.resumes.to_string());
+    let _ = writeln!(
+        out,
+        "waste reduction: {:.1}% of burned time recovered by checkpoint/resume",
+        r.waste_reduction_fraction() * 100.0
+    );
     out
 }
 

@@ -11,7 +11,8 @@ use atlas_bench::{ensembl_params, fig3_config, fig4_config, Scale};
 use atlas_pipeline::experiments::{
     checkpoint_analysis, cloud_campaign, fig3_genome_release, fig4_early_stopping,
     hash_seed_tradeoff, index_comparison, pseudo_early_stopping, right_size_comparison,
-    CampaignExperimentConfig, CheckpointAnalysisConfig, PseudoStudyConfig,
+    spot_recovery, CampaignExperimentConfig, CheckpointAnalysisConfig, PseudoStudyConfig,
+    SpotRecoveryConfig,
 };
 use atlas_pipeline::report;
 use sra_sim::accession::CatalogParams;
@@ -35,7 +36,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--scale test|paper] <fig3|index-table|hash-tradeoff|fig4|checkpoint-analysis|cloud-campaign|right-size|pseudo-early-stop|all>"
+                    "usage: experiments [--scale test|paper] <fig3|index-table|hash-tradeoff|fig4|checkpoint-analysis|cloud-campaign|right-size|spot-recovery|pseudo-early-stop|all>"
                 );
                 return;
             }
@@ -55,6 +56,7 @@ fn main() {
             "checkpoint-analysis" => run_checkpoint_analysis(scale),
             "cloud-campaign" => run_campaign(scale),
             "right-size" => run_right_size(scale),
+            "spot-recovery" => run_spot_recovery(scale),
             "pseudo-early-stop" => run_pseudo_study(scale),
             "all" => {
                 run_fig3(scale);
@@ -64,6 +66,7 @@ fn main() {
                 run_checkpoint_analysis(scale);
                 run_campaign(scale);
                 run_right_size(scale);
+                run_spot_recovery(scale);
                 run_pseudo_study(scale);
             }
             other => {
@@ -157,6 +160,20 @@ fn run_campaign(scale: Scale) {
     match cloud_campaign(&campaign_config(scale)) {
         Ok((r, instance)) => print!("{}", report::render_campaign(&r, &instance)),
         Err(e) => eprintln!("cloud-campaign failed: {e}"),
+    }
+}
+
+fn run_spot_recovery(scale: Scale) {
+    banner("E7 — graceful spot degradation: checkpointing under a reclaim storm");
+    // The study runs on the modeled workload (align-dominated ~10-minute jobs),
+    // so the storm shape is scale-free; test scale just trims the catalog.
+    let cfg = match scale {
+        Scale::Test => SpotRecoveryConfig { n_accessions: 24, ..SpotRecoveryConfig::default() },
+        Scale::Paper => SpotRecoveryConfig::default(),
+    };
+    match spot_recovery(&cfg) {
+        Ok(r) => print!("{}", report::render_spot_recovery(&r)),
+        Err(e) => eprintln!("spot-recovery failed: {e}"),
     }
 }
 

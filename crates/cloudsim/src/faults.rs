@@ -38,6 +38,8 @@ pub enum FaultOp {
     DuplicateDelivery,
     /// Worker process crash mid-pipeline.
     WorkerCrash,
+    /// Checkpoint upload at an interruption notice (drain-time S3 PUT).
+    CheckpointPut,
 }
 
 impl FaultOp {
@@ -51,6 +53,7 @@ impl FaultOp {
             FaultOp::SqsExtend => "sqs_extend",
             FaultOp::DuplicateDelivery => "duplicate_delivery",
             FaultOp::WorkerCrash => "worker_crash",
+            FaultOp::CheckpointPut => "checkpoint_put",
         }
     }
 
@@ -63,6 +66,7 @@ impl FaultOp {
             FaultOp::SqsExtend => 5,
             FaultOp::DuplicateDelivery => 6,
             FaultOp::WorkerCrash => 7,
+            FaultOp::CheckpointPut => 8,
         }
     }
 }
@@ -98,6 +102,15 @@ pub struct FaultPlan {
     pub duplicate_delivery: f64,
     /// Probability a started job crashes partway through the pipeline.
     pub worker_crash_per_job: f64,
+    /// Probability a drain-time checkpoint upload fails (progress is lost and
+    /// the interrupted work restarts from zero, as without checkpointing).
+    /// Only rolled when the campaign's recovery layer is enabled.
+    pub checkpoint_write_fail: f64,
+    /// Interruption-notice lead time, seconds before the reclaim (AWS delivers
+    /// two minutes). Only consulted when the recovery layer is enabled; `0`
+    /// means the notice and the reclaim land at the same instant (the notice
+    /// still dispatches first).
+    pub spot_notice_secs: f64,
     /// Windows of elevated spot-interruption pressure.
     pub spot_bursts: Vec<SpotBurst>,
 }
@@ -114,6 +127,8 @@ impl Default for FaultPlan {
             sqs_extend_fail: 0.0,
             duplicate_delivery: 0.0,
             worker_crash_per_job: 0.0,
+            checkpoint_write_fail: 0.0,
+            spot_notice_secs: 120.0,
             spot_bursts: Vec::new(),
         }
     }
@@ -131,6 +146,8 @@ impl FaultPlan {
             sqs_extend_fail: 0.05,
             duplicate_delivery: 0.10,
             worker_crash_per_job: 0.10,
+            checkpoint_write_fail: 0.05,
+            spot_notice_secs: 120.0,
             spot_bursts: Vec::new(),
         }
     }
@@ -145,10 +162,16 @@ impl FaultPlan {
             self.sqs_extend_fail,
             self.duplicate_delivery,
             self.worker_crash_per_job,
+            self.checkpoint_write_fail,
         ];
         if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
             return Err(CloudError::InvalidParams(
                 "fault probabilities must be in [0, 1]".into(),
+            ));
+        }
+        if !self.spot_notice_secs.is_finite() || self.spot_notice_secs < 0.0 {
+            return Err(CloudError::InvalidParams(
+                "spot_notice_secs must be finite and >= 0".into(),
             ));
         }
         for b in &self.spot_bursts {
@@ -170,6 +193,7 @@ impl FaultPlan {
             FaultOp::SqsExtend => self.sqs_extend_fail,
             FaultOp::DuplicateDelivery => self.duplicate_delivery,
             FaultOp::WorkerCrash => self.worker_crash_per_job,
+            FaultOp::CheckpointPut => self.checkpoint_write_fail,
         }
     }
 }
@@ -231,6 +255,8 @@ pub struct FaultCounters {
     pub duplicate_deliveries: u64,
     /// Worker crashes injected mid-pipeline.
     pub worker_crashes: u64,
+    /// Drain-time checkpoint uploads that failed (progress lost at a notice).
+    pub checkpoint_put_faults: u64,
     /// Failed attempts that consumed a retry.
     pub retry_attempts: u64,
     /// Operations that failed every attempt of their retry policy.
@@ -250,6 +276,7 @@ impl FaultCounters {
             FaultOp::SqsExtend => self.sqs_extend_faults += 1,
             FaultOp::DuplicateDelivery => self.duplicate_deliveries += 1,
             FaultOp::WorkerCrash => self.worker_crashes += 1,
+            FaultOp::CheckpointPut => self.checkpoint_put_faults += 1,
         }
     }
 
@@ -262,6 +289,7 @@ impl FaultCounters {
             + self.sqs_extend_faults
             + self.duplicate_deliveries
             + self.worker_crashes
+            + self.checkpoint_put_faults
     }
 }
 
@@ -433,6 +461,38 @@ impl FaultInjector {
             return Retried { outcome: f(), attempts: attempt, backoff };
         }
         unreachable!("max_attempts >= 1 is enforced by RetryPolicy::validate")
+    }
+
+    /// The unified reclaim schedule for an instance launched at `launched_at`:
+    /// the market's base Poisson interruption and the earliest fault-plan burst
+    /// interruption, sampled through exactly the draws the two legacy call
+    /// sites made, in a fixed order (market first, then burst). Interruption
+    /// notices are derived from this single schedule — every reclaim, whatever
+    /// its source, gets a notice `plan.spot_notice_secs` ahead (clamped to the
+    /// launch instant), so market and burst reclaims can never diverge in
+    /// notice behavior.
+    pub fn reclaim_schedule(
+        &self,
+        market: &crate::SpotMarket,
+        launched_at: SimTime,
+        serial: u64,
+    ) -> Vec<crate::spot::Reclaim> {
+        use crate::spot::{Reclaim, ReclaimSource};
+        let mut out = Vec::new();
+        if let Some(at) = market.sample_interruption(launched_at, serial) {
+            out.push(Reclaim { at, source: ReclaimSource::Market });
+        }
+        if let Some(at) = self.burst_interruption(launched_at, serial) {
+            out.push(Reclaim { at, source: ReclaimSource::Burst });
+        }
+        out
+    }
+
+    /// The notice instant for a reclaim at `reclaim_at`: `spot_notice_secs`
+    /// ahead of the reclaim, clamped so a notice can never precede the launch.
+    pub fn notice_at(&self, launched_at: SimTime, reclaim_at: SimTime) -> SimTime {
+        let at = (reclaim_at.as_secs() - self.plan.spot_notice_secs).max(launched_at.as_secs());
+        SimTime::from_secs(at)
     }
 
     /// Earliest burst-layer interruption for an instance launched at `launched_at`,
@@ -649,5 +709,76 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_knob_validation() {
+        let bad = FaultPlan { checkpoint_write_fail: 1.01, ..FaultPlan::default() };
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan { checkpoint_write_fail: -0.1, ..FaultPlan::default() };
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan { spot_notice_secs: -1.0, ..FaultPlan::default() };
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan { spot_notice_secs: f64::NAN, ..FaultPlan::default() };
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan { spot_notice_secs: f64::INFINITY, ..FaultPlan::default() };
+        assert!(bad.validate().is_err());
+        let ok = FaultPlan { spot_notice_secs: 0.0, checkpoint_write_fail: 1.0, ..FaultPlan::default() };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn reclaim_schedule_matches_the_legacy_call_sites() {
+        use crate::spot::ReclaimSource;
+        use crate::SpotMarket;
+        // The unified schedule must reproduce the exact draws (and order) the
+        // kernel used to make directly: market sample first, then burst sample.
+        let plan = FaultPlan {
+            spot_bursts: vec![SpotBurst {
+                start_secs: 0.0,
+                duration_secs: 4000.0,
+                rate_per_hour: 30.0,
+            }],
+            ..FaultPlan::chaos(13)
+        };
+        let market = SpotMarket { interruptions_per_hour: 2.0, ..SpotMarket::default() };
+        let inj = FaultInjector::new(plan);
+        for serial in 1..40 {
+            let launched = SimTime::from_secs(serial as f64 * 11.0);
+            let schedule = inj.reclaim_schedule(&market, launched, serial);
+            let legacy: Vec<(SimTime, ReclaimSource)> = market
+                .sample_interruption(launched, serial)
+                .map(|t| (t, ReclaimSource::Market))
+                .into_iter()
+                .chain(
+                    inj.burst_interruption(launched, serial)
+                        .map(|t| (t, ReclaimSource::Burst)),
+                )
+                .collect();
+            let got: Vec<(SimTime, ReclaimSource)> =
+                schedule.iter().map(|r| (r.at, r.source)).collect();
+            assert_eq!(got, legacy, "serial {serial}");
+        }
+        // No market rate, no bursts → empty schedule.
+        let quiet = FaultInjector::new(FaultPlan::default());
+        assert!(quiet
+            .reclaim_schedule(&SpotMarket::default(), SimTime::ZERO, 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn notice_precedes_reclaim_by_the_lead_clamped_to_launch() {
+        let inj = FaultInjector::new(FaultPlan::default()); // 120 s lead
+        let launched = SimTime::from_secs(1000.0);
+        // Far-out reclaim: notice lands exactly 120 s ahead.
+        let n = inj.notice_at(launched, SimTime::from_secs(5000.0));
+        assert_eq!(n, SimTime::from_secs(4880.0));
+        // Reclaim sooner than the lead: notice clamps to the launch instant.
+        let n = inj.notice_at(launched, SimTime::from_secs(1060.0));
+        assert_eq!(n, launched);
+        // Zero lead: notice and reclaim coincide.
+        let inj = FaultInjector::new(FaultPlan { spot_notice_secs: 0.0, ..FaultPlan::default() });
+        let n = inj.notice_at(launched, SimTime::from_secs(2000.0));
+        assert_eq!(n, SimTime::from_secs(2000.0));
     }
 }

@@ -80,6 +80,9 @@ pub enum InstanceState {
     Initializing,
     /// Ready to poll work.
     Running,
+    /// Received a spot interruption notice: the worker stops pulling work and
+    /// hands back (or checkpoints) what it holds before the reclaim lands.
+    Draining,
     /// Terminated (scale-in, spot reclaim, or campaign end).
     Terminated,
 }
@@ -117,6 +120,23 @@ impl Instance {
         }
         self.state = InstanceState::Running;
         Ok(())
+    }
+
+    /// Begin draining after an interruption notice. Valid from `Initializing`
+    /// or `Running`; idempotent from `Draining` (an instance can catch notices
+    /// for both a market and a burst reclaim). A terminated instance cannot
+    /// drain.
+    pub fn mark_draining(&mut self) -> Result<(), CloudError> {
+        match self.state {
+            InstanceState::Initializing | InstanceState::Running | InstanceState::Draining => {
+                self.state = InstanceState::Draining;
+                Ok(())
+            }
+            InstanceState::Terminated => Err(CloudError::InvalidState(format!(
+                "{} cannot drain after termination",
+                self.id
+            ))),
+        }
     }
 
     /// Terminate (idempotent; records the first termination time).
@@ -180,6 +200,29 @@ mod tests {
         // Idempotent terminate keeps the first timestamp.
         i.terminate(SimTime::from_secs(8000.0));
         assert_eq!(i.terminated_at, Some(SimTime::from_secs(4100.0)));
+    }
+
+    #[test]
+    fn draining_lifecycle() {
+        let t = InstanceType::by_name("r6a.xlarge").unwrap();
+        let mut i = Instance::launch(InstanceId(3), t, true, SimTime::ZERO);
+        // Draining straight from Initializing (notice during init) is legal.
+        i.mark_draining().unwrap();
+        assert_eq!(i.state, InstanceState::Draining);
+        // Idempotent: a second notice (market + burst) re-drains harmlessly.
+        i.mark_draining().unwrap();
+        // A draining instance cannot go back to Running.
+        assert!(i.mark_running().is_err());
+        // Reclaim lands: normal termination, still billed until then.
+        i.terminate(SimTime::from_secs(300.0));
+        assert_eq!(i.state, InstanceState::Terminated);
+        assert_eq!(i.billable_secs(SimTime::from_secs(999.0)), 300.0);
+        assert!(i.mark_draining().is_err(), "terminated instances cannot drain");
+
+        let mut r = Instance::launch(InstanceId(4), t, true, SimTime::ZERO);
+        r.mark_running().unwrap();
+        r.mark_draining().unwrap();
+        assert_eq!(r.state, InstanceState::Draining);
     }
 
     #[test]

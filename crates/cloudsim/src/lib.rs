@@ -45,6 +45,6 @@ pub use faults::{FaultCounters, FaultEvent, FaultInjector, FaultOp, FaultPlan, S
 pub use instance::{Instance, InstanceId, InstanceState, InstanceType, INSTANCE_CATALOG};
 pub use retry::RetryPolicy;
 pub use s3::ObjectStore;
-pub use spot::SpotMarket;
+pub use spot::{Reclaim, ReclaimSource, SpotMarket};
 pub use sqs::SqsQueue;
 pub use time::{SimDuration, SimTime};

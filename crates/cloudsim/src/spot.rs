@@ -37,6 +37,40 @@ pub fn exponential_hours(seed: u64, stream: u64, rate_per_hour: f64) -> f64 {
     -u.ln() / rate_per_hour
 }
 
+/// Which process produced a reclaim: the market's base Poisson stream or a
+/// fault-plan [`crate::faults::SpotBurst`] window. Both flow through the same
+/// schedule ([`crate::faults::FaultInjector::reclaim_schedule`]) so interruption
+/// *notices* cannot diverge between the two sources.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReclaimSource {
+    /// Base spot-market interruption ([`SpotMarket::sample_interruption`]).
+    Market,
+    /// Elevated-pressure burst window from the fault plan.
+    Burst,
+}
+
+impl ReclaimSource {
+    /// Stable snake_case name, used in telemetry events.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReclaimSource::Market => "market",
+            ReclaimSource::Burst => "burst",
+        }
+    }
+}
+
+/// One scheduled spot reclaim for an instance: the instant capacity is taken
+/// back, tagged with the process that sampled it. AWS precedes the reclaim with
+/// a two-minute interruption notice; the simulation derives the notice instant
+/// from `at` minus the plan's notice lead time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Reclaim {
+    /// When the instance is reclaimed.
+    pub at: SimTime,
+    /// Which sampling process produced it.
+    pub source: ReclaimSource,
+}
+
 impl SpotMarket {
     /// Spot USD/hour for an instance type.
     pub fn hourly_price(&self, on_demand_hourly_usd: f64) -> f64 {

@@ -296,6 +296,27 @@ impl<M: Clone> SqsQueue<M> {
         Ok(())
     }
 
+    /// Hand an in-flight message back to the queue immediately (visibility → 0)
+    /// and invalidate the receipt — the graceful-drain counterpart of
+    /// [`SqsQueue::force_visible`]. A worker that received an interruption
+    /// notice renounces its message instead of letting the lease lapse, so the
+    /// message is redeliverable *now* rather than after the visibility timeout.
+    /// Unlike `force_visible`, the caller's receipt goes stale: the worker has
+    /// given the message up and can no longer delete or extend it.
+    pub fn release(&mut self, receipt: ReceiptHandle) -> Result<(), CloudError> {
+        let idx = self.receipt_index(receipt)?;
+        let msg = &mut self.messages[idx];
+        debug_assert!(!msg.deleted && msg.current_receipt == Some(receipt));
+        msg.invisible_until = None;
+        msg.current_receipt = None;
+        self.receipts.remove(&receipt.0);
+        if !msg.queued {
+            msg.queued = true;
+            self.visible.push_back(idx);
+        }
+        Ok(())
+    }
+
     /// Fire the visibility expiries that have come due: each expired message's
     /// receipt goes stale and the message is re-queued. Messages expiring in the
     /// same reconciliation batch re-queue in message-index order — the order a
@@ -484,6 +505,40 @@ mod tests {
         assert!(q.delete(r1).is_err());
         q.delete(r2).unwrap();
         assert_eq!(q.pending_count(), 0);
+    }
+
+    #[test]
+    fn release_hands_the_message_back_and_invalidates_the_receipt() {
+        let mut q = queue();
+        q.send("a".into());
+        let (_, r, c) = q.receive(t(0.0)).unwrap();
+        assert_eq!(c, 1);
+        q.release(r).unwrap();
+        // The worker gave the message up: its receipt is dead.
+        assert!(q.delete(r).is_err(), "released receipt is stale");
+        assert!(q.change_visibility(r, t(1.0), SimDuration::from_secs(9.0)).is_err());
+        assert!(q.release(r).is_err(), "double release rejected");
+        // Immediately redeliverable — no waiting out the visibility timeout.
+        let (_, r2, c2) = q.receive(t(1.0)).unwrap();
+        assert_eq!(c2, 2);
+        q.delete(r2).unwrap();
+        assert_eq!(q.pending_count(), 0);
+    }
+
+    #[test]
+    fn release_respects_the_dead_letter_allowance() {
+        // A released message still counts its deliveries: draining workers do
+        // not grant a poison message extra lives.
+        let mut q: SqsQueue<String> =
+            SqsQueue::new(SimDuration::from_secs(10.0)).with_max_receive_count(2);
+        q.send("p".into());
+        let (_, r1, _) = q.receive(t(0.0)).unwrap();
+        q.release(r1).unwrap();
+        let (_, r2, c2) = q.receive(t(1.0)).unwrap();
+        assert_eq!(c2, 2);
+        q.release(r2).unwrap();
+        assert!(q.receive(t(2.0)).is_none(), "third delivery dead-letters");
+        assert_eq!(q.dead_letter_count(), 1);
     }
 
     #[test]

@@ -83,6 +83,22 @@ impl JunctionCollector {
         }
     }
 
+    /// Merge previously-finished rows back in (checkpoint resume): counts add,
+    /// overhangs take the max, and the class follows the merged rows — the same
+    /// combination [`JunctionStats::update`] applies read by read, so a resumed
+    /// run finishes with the table an uninterrupted run would have produced.
+    pub fn absorb_rows(&mut self, rows: &[JunctionRow]) {
+        for row in rows {
+            let key: (Arc<str>, u64, u64) =
+                (Arc::from(row.contig.as_str()), row.intron_start, row.intron_end);
+            let stats = self.table.entry(key).or_default();
+            stats.unique_reads += row.stats.unique_reads;
+            stats.multi_reads += row.stats.multi_reads;
+            stats.max_overhang = stats.max_overhang.max(row.stats.max_overhang);
+            stats.class = row.stats.class;
+        }
+    }
+
     /// Number of distinct junctions observed.
     pub fn len(&self) -> usize {
         self.table.len()

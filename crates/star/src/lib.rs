@@ -26,6 +26,9 @@
 //! * [`logs`] — `Log.final.out`-style run summary.
 //! * [`runner`] — the multi-threaded run driver (`runThreadN` analog) with a
 //!   cooperative cancellation hook for early stopping.
+//! * [`checkpoint`] — resumable alignment checkpoints: a cancelled run's offset
+//!   and partial tallies, serialized deterministically so a spot-interrupted
+//!   worker's successor can resume and still produce bit-identical output.
 //!
 //! # Simplifications relative to real STAR
 //!
@@ -56,6 +59,7 @@
 //! ```
 
 pub mod align;
+pub mod checkpoint;
 pub mod error;
 pub mod extend;
 pub mod genome;
@@ -78,6 +82,7 @@ pub mod sjdb;
 pub mod stitch;
 
 pub use align::{AlignOutcome, Aligner, AlignmentRecord, CigarOp, MapClass, PhaseWork};
+pub use checkpoint::AlignCheckpoint;
 pub use error::StarError;
 pub use genome::Packed2;
 pub use hashseed::HashSeedIndex;

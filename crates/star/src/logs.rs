@@ -60,6 +60,26 @@ impl FinalLog {
             self.input_reads as f64 / self.elapsed_secs
         }
     }
+
+    /// The deterministic rows of `Log.final.out`: everything except the
+    /// wall-clock-dependent mapping-speed row. This is the text the
+    /// checkpoint/resume differential proof compares byte-for-byte — two runs
+    /// that aligned the same reads produce identical canonical text regardless
+    /// of how long either took.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("                          Number of input reads |\t{}\n", self.input_reads));
+        out.push_str(&format!("                   Uniquely mapped reads number |\t{}\n", self.unique));
+        out.push_str(&format!("                        Uniquely mapped reads % |\t{:.2}%\n", self.unique_pct()));
+        out.push_str(&format!("        Number of reads mapped to multiple loci |\t{}\n", self.multi));
+        out.push_str(&format!("             % of reads mapped to multiple loci |\t{:.2}%\n", self.multi_pct()));
+        out.push_str(&format!("        Number of reads mapped to too many loci |\t{}\n", self.too_many));
+        out.push_str(&format!("             % of reads mapped to too many loci |\t{:.2}%\n", pct(self.too_many, self.input_reads)));
+        out.push_str(&format!("                         Number of unmapped reads |\t{}\n", self.unmapped));
+        out.push_str(&format!("                              % of unmapped reads |\t{:.2}%\n", pct(self.unmapped, self.input_reads)));
+        out.push_str(&format!("                                 Overall mapped % |\t{:.2}%\n", self.mapped_pct()));
+        out
+    }
 }
 
 fn pct(x: u64, of: u64) -> f64 {
@@ -72,16 +92,7 @@ fn pct(x: u64, of: u64) -> f64 {
 
 impl fmt::Display for FinalLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "                          Number of input reads |\t{}", self.input_reads)?;
-        writeln!(f, "                   Uniquely mapped reads number |\t{}", self.unique)?;
-        writeln!(f, "                        Uniquely mapped reads % |\t{:.2}%", self.unique_pct())?;
-        writeln!(f, "        Number of reads mapped to multiple loci |\t{}", self.multi)?;
-        writeln!(f, "             % of reads mapped to multiple loci |\t{:.2}%", self.multi_pct())?;
-        writeln!(f, "        Number of reads mapped to too many loci |\t{}", self.too_many)?;
-        writeln!(f, "             % of reads mapped to too many loci |\t{:.2}%", pct(self.too_many, self.input_reads))?;
-        writeln!(f, "                         Number of unmapped reads |\t{}", self.unmapped)?;
-        writeln!(f, "                              % of unmapped reads |\t{:.2}%", pct(self.unmapped, self.input_reads))?;
-        writeln!(f, "                                 Overall mapped % |\t{:.2}%", self.mapped_pct())?;
+        write!(f, "{}", self.canonical_text())?;
         write!(f, "                           Mapping speed, reads/s |\t{:.0}", self.reads_per_sec())
     }
 }

@@ -40,6 +40,29 @@ impl ProgressStats {
         }
     }
 
+    /// Counters seeded from a checkpoint: `processed`/class tallies start at the
+    /// interrupted run's values so snapshots (and the monitor decisions made on
+    /// them) see cumulative progress, not just the resumed tail.
+    pub fn with_initial(
+        total_reads: u64,
+        processed: u64,
+        unique: u64,
+        multi: u64,
+        too_many: u64,
+        unmapped: u64,
+    ) -> ProgressStats {
+        debug_assert_eq!(processed, unique + multi + too_many + unmapped);
+        ProgressStats {
+            total_reads,
+            started: Instant::now(),
+            processed: AtomicU64::new(processed),
+            unique: AtomicU64::new(unique),
+            multi: AtomicU64::new(multi),
+            too_many: AtomicU64::new(too_many),
+            unmapped: AtomicU64::new(unmapped),
+        }
+    }
+
     /// Record one classified read. Relaxed ordering suffices: the counters are
     /// independent monotonic tallies read only via snapshots.
     pub fn record(&self, class: MapClass) {

@@ -65,6 +65,24 @@ impl GeneCounter {
         }
     }
 
+    /// Rebuild a counter from a checkpointed partial table, seeding every tally
+    /// so counting continues exactly where the interrupted run left off. The
+    /// saved table must come from the same annotation (checked via gene ids).
+    pub fn restore(annotation: &Annotation, saved: &GeneCounts) -> Result<GeneCounter, crate::StarError> {
+        let mut counter = GeneCounter::new(annotation);
+        if counter.gene_ids != saved.gene_ids {
+            return Err(crate::StarError::InvalidParams(
+                "checkpoint gene table does not match the annotation".into(),
+            ));
+        }
+        counter.counts = saved.counts.clone();
+        counter.n_no_feature = saved.n_no_feature;
+        counter.n_ambiguous = saved.n_ambiguous;
+        counter.n_multimapping = saved.n_multimapping;
+        counter.n_unmapped = saved.n_unmapped;
+        Ok(counter)
+    }
+
     /// Record one read's outcome. Only `Unique` reads are gene-counted (STAR
     /// semantics); `Multi`/`TooMany` go to `N_multimapping`, `Unmapped` to
     /// `N_unmapped`.

@@ -17,6 +17,7 @@ use std::time::Instant;
 use rayon::prelude::*;
 
 use crate::align::{Aligner, AlignmentRecord, MapClass, PhaseWork};
+use crate::checkpoint::AlignCheckpoint;
 use crate::index::StarIndex;
 use crate::junctions::{JunctionCollector, JunctionRow};
 use crate::logs::FinalLog;
@@ -212,15 +213,91 @@ impl<'i> Runner<'i> {
         monitor: Option<&dyn RunMonitor>,
         cancel: Option<&CancelToken>,
     ) -> Result<RunOutput, StarError> {
+        self.run_impl(reads, annotation, monitor, cancel, None)
+    }
+
+    /// Resume a run from a checkpoint taken at a cancellation: skip the
+    /// already-aligned prefix, seed progress/quant/junction state from the
+    /// checkpoint, and align only `reads[checkpoint.reads_processed..]`.
+    ///
+    /// The checkpoint must structurally match the configuration: partial gene
+    /// counts are required exactly when `quant` is on (and must come from the
+    /// same annotation), a partial junction table exactly when
+    /// `collect_junctions` is on. `reads` must be the same input the
+    /// interrupted run saw — per-read alignment is pure, so offset plus tallies
+    /// fully determine the final output, and the resumed run's SAM/quant/
+    /// `Log.final` are bit-identical to an uninterrupted run's. Kept alignment
+    /// records (`record_alignments`) cover only the resumed tail: together with
+    /// the interrupted attempt's records they form the complete shard set.
+    pub fn run_resumed(
+        &self,
+        reads: &[FastqRecord],
+        annotation: Option<&Annotation>,
+        checkpoint: &AlignCheckpoint,
+        monitor: Option<&dyn RunMonitor>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunOutput, StarError> {
+        checkpoint.validate()?;
+        if checkpoint.reads_processed as usize > reads.len() {
+            return Err(StarError::InvalidParams(format!(
+                "checkpoint offset {} exceeds input of {} reads",
+                checkpoint.reads_processed,
+                reads.len()
+            )));
+        }
+        if self.config.quant != checkpoint.gene_counts.is_some() {
+            return Err(StarError::InvalidParams(
+                "checkpoint quant state does not match the run configuration".into(),
+            ));
+        }
+        if self.config.collect_junctions != checkpoint.junctions.is_some() {
+            return Err(StarError::InvalidParams(
+                "checkpoint junction state does not match the run configuration".into(),
+            ));
+        }
+        self.run_impl(reads, annotation, monitor, cancel, Some(checkpoint))
+    }
+
+    fn run_impl(
+        &self,
+        reads: &[FastqRecord],
+        annotation: Option<&Annotation>,
+        monitor: Option<&dyn RunMonitor>,
+        cancel: Option<&CancelToken>,
+        resume: Option<&AlignCheckpoint>,
+    ) -> Result<RunOutput, StarError> {
         if self.config.quant && annotation.is_none() {
             return Err(StarError::InvalidParams("quant mode requires an annotation".into()));
         }
         let started = Instant::now();
-        let progress = ProgressStats::new(reads.len() as u64);
+        let skip = resume.map_or(0, |c| c.reads_processed as usize);
+        let progress = match resume {
+            Some(c) => ProgressStats::with_initial(
+                reads.len() as u64,
+                c.reads_processed,
+                c.unique,
+                c.multi,
+                c.too_many,
+                c.unmapped,
+            ),
+            None => ProgressStats::new(reads.len() as u64),
+        };
         let aligner = Aligner::new(self.index, self.align_params.clone());
-        let mut counter = annotation.filter(|_| self.config.quant).map(GeneCounter::new);
+        let mut counter = match (
+            annotation.filter(|_| self.config.quant),
+            resume.and_then(|c| c.gene_counts.as_ref()),
+        ) {
+            (Some(ann), Some(saved)) => Some(GeneCounter::restore(ann, saved)?),
+            (Some(ann), None) => Some(GeneCounter::new(ann)),
+            (None, _) => None,
+        };
         let mut junction_collector =
             self.config.collect_junctions.then(JunctionCollector::new);
+        if let (Some(collector), Some(rows)) =
+            (junction_collector.as_mut(), resume.and_then(|c| c.junctions.as_deref()))
+        {
+            collector.absorb_rows(rows);
+        }
         let mut history = Vec::new();
         let mut kept: Vec<AlignmentRecord> = Vec::new();
         let mut phase_work = PhaseWork::default();
@@ -230,7 +307,7 @@ impl<'i> Runner<'i> {
         let want_record =
             counter.is_some() || junction_collector.is_some() || self.config.record_alignments;
 
-        'batches: for batch in reads.chunks(self.config.batch_size) {
+        'batches: for batch in reads[skip..].chunks(self.config.batch_size) {
             if let Some(tok) = cancel {
                 if tok.is_cancelled() {
                     status = RunStatus::Cancelled { processed_reads: progress.snapshot().processed };

@@ -9,7 +9,9 @@
 use crate::align::{cigar_string, AlignOutcome, AlignmentRecord, MapClass};
 use crate::genome::PackedGenome;
 use crate::pair::PairOutcome;
+use crate::StarError;
 use genomics::FastqRecord;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// SAM flag bits.
@@ -50,38 +52,66 @@ pub fn sam_header(genome: &PackedGenome, command_line: &str) -> String {
 /// (STAR's default `--outFilterMultimapNmax` behaviour), with the true hit count
 /// still visible in the `NH` tag of mapped records.
 pub fn sam_record(read: &FastqRecord, outcome: &AlignOutcome) -> String {
-    let qual_string: String =
-        read.qual.iter().map(|&q| (q.min(60) + 33) as char).collect();
-    let qual_field = if qual_string.is_empty() { "*".to_string() } else { qual_string };
     match (&outcome.class, &outcome.primary) {
-        (MapClass::Unique | MapClass::Multi(_), Some(rec)) => {
-            let flag = if rec.reverse { flags::REVERSE } else { 0 };
-            // SAM stores the sequence in reference orientation.
-            let seq =
-                if rec.reverse { read.seq.reverse_complement().to_string() } else { read.seq.to_string() };
+        (MapClass::Unique | MapClass::Multi(_), Some(rec)) => sam_mapped_record(read, rec),
+        _ => {
+            let qual_string: String =
+                read.qual.iter().map(|&q| (q.min(60) + 33) as char).collect();
+            let qual_field = if qual_string.is_empty() { "*".to_string() } else { qual_string };
             format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t{}\tNH:i:{}\tAS:i:{}\tnM:i:{}",
+                "{}\t{}\t*\t0\t0\t*\t*\t0\t0\t{}\t{}\tuT:A:1",
                 read.id,
-                flag,
-                rec.contig,
-                rec.pos + 1, // SAM is 1-based
-                rec.mapq,
-                cigar_string(&rec.cigar),
-                seq,
+                flags::UNMAPPED,
+                read.seq,
                 qual_field,
-                rec.n_hits,
-                rec.score,
-                rec.mismatches,
             )
         }
-        _ => format!(
-            "{}\t{}\t*\t0\t0\t*\t*\t0\t0\t{}\t{}\tuT:A:1",
-            read.id,
-            flags::UNMAPPED,
-            read.seq,
-            qual_field,
-        ),
     }
+}
+
+/// Render a mapped read's primary alignment as a SAM line (no trailing newline).
+/// The mapped arm of [`sam_record`], usable directly from the records a run
+/// keeps (`record_alignments`), where the outcome classification is implicit.
+pub fn sam_mapped_record(read: &FastqRecord, rec: &AlignmentRecord) -> String {
+    let qual_string: String = read.qual.iter().map(|&q| (q.min(60) + 33) as char).collect();
+    let qual_field = if qual_string.is_empty() { "*".to_string() } else { qual_string };
+    let flag = if rec.reverse { flags::REVERSE } else { 0 };
+    // SAM stores the sequence in reference orientation.
+    let seq =
+        if rec.reverse { read.seq.reverse_complement().to_string() } else { read.seq.to_string() };
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t{}\tNH:i:{}\tAS:i:{}\tnM:i:{}",
+        read.id,
+        flag,
+        rec.contig,
+        rec.pos + 1, // SAM is 1-based
+        rec.mapq,
+        cigar_string(&rec.cigar),
+        seq,
+        qual_field,
+        rec.n_hits,
+        rec.score,
+        rec.mismatches,
+    )
+}
+
+/// Render the SAM body for the alignment records a run kept
+/// (`record_alignments`; mapped reads only, input order). Each record's read is
+/// looked up by id in `reads`; an unknown id is an error rather than a silent
+/// skip. Shards from a checkpointed run concatenate to exactly the body an
+/// uninterrupted run produces — the property the spot-recovery differential
+/// test pins down.
+pub fn sam_body(reads: &[FastqRecord], records: &[AlignmentRecord]) -> Result<String, StarError> {
+    let by_id: HashMap<&str, &FastqRecord> = reads.iter().map(|r| (r.id.as_str(), r)).collect();
+    let mut out = String::new();
+    for rec in records {
+        let read = by_id.get(rec.read_id.as_str()).ok_or_else(|| {
+            StarError::InvalidParams(format!("alignment record for unknown read {:?}", rec.read_id))
+        })?;
+        out.push_str(&sam_mapped_record(read, rec));
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// Render a mapped read pair as two SAM record lines.

@@ -63,7 +63,10 @@ pub use span::{SpanId, SpanRecord};
 /// v3: quantile sketches in the metrics registry, `slo_burn` alerts,
 /// `slo_budget`/`slo_clear` events, OpenMetrics summary lines, Perfetto counter
 /// tracks for budget gauges.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4: graceful-spot-degradation events (`spot_notice`, `drain`, `checkpoint`,
+/// `checkpoint_failed`, `resume`), the `interruption_storm` alert rule, and the
+/// recovery-only `slo_ledger_salvaged_secs`/`slo_ledger_lost_secs` gauges.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The stable JSON schema of everything this crate serializes, as a JSON document.
 ///
@@ -170,6 +173,65 @@ pub fn schema_json() -> String {
                         field("slo", "string — objective id"),
                         field("window_secs", "f64 — long window of the clearing rule"),
                         field("burn", "f64 — short-window burn at clearing"),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "recovery_events".into(),
+            obj(vec![
+                (
+                    "spot_notice".into(),
+                    obj(vec![
+                        field("t", "f64"),
+                        field("kind", "\"spot_notice\""),
+                        field("instance", "u64"),
+                        field("source", "\"market\"|\"burst\" — which reclaim pipeline"),
+                        field("lead_secs", "f64 — notice -> reclaim lead time"),
+                    ]),
+                ),
+                (
+                    "drain".into(),
+                    obj(vec![
+                        field("t", "f64"),
+                        field("kind", "\"drain\""),
+                        field("instance", "u64"),
+                        field("accession", "string — only when a job was in flight"),
+                        field("handed_back", "bool — message visibility reset to 0"),
+                        field(
+                            "checkpointed_secs",
+                            "f64 — align progress persisted, only when a checkpoint \
+                             was written",
+                        ),
+                    ]),
+                ),
+                (
+                    "checkpoint".into(),
+                    obj(vec![
+                        field("t", "f64"),
+                        field("kind", "\"checkpoint\""),
+                        field("accession", "string"),
+                        field("instance", "u64"),
+                        field("offset_secs", "f64 — cumulative align seconds stored"),
+                    ]),
+                ),
+                (
+                    "checkpoint_failed".into(),
+                    obj(vec![
+                        field("t", "f64"),
+                        field("kind", "\"checkpoint_failed\""),
+                        field("accession", "string"),
+                        field("instance", "u64"),
+                    ]),
+                ),
+                (
+                    "resume".into(),
+                    obj(vec![
+                        field("t", "f64"),
+                        field("kind", "\"resume\""),
+                        field("accession", "string"),
+                        field("instance", "u64"),
+                        field("skipped_secs", "f64 — align seconds not redone"),
                     ]),
                 ),
             ]),

@@ -191,6 +191,22 @@ impl AlertRule {
         }
     }
 
+    /// Interruption storm: ≥ `min_count` `spot_interruption` events inside a
+    /// `window_secs` window — reclaims have shifted from background churn to a
+    /// market event, and a recovery-enabled campaign should expect heavy
+    /// drain/checkpoint traffic. Not part of [`MonitorConfig::standard`]:
+    /// recovery campaigns opt in alongside [`crate::SloRegistry`] budgets.
+    pub fn interruption_storm(window_secs: f64, min_count: usize) -> AlertRule {
+        AlertRule {
+            id: "interruption_storm".into(),
+            signal: Signal::EventCount { kind: "spot_interruption".into(), window_secs },
+            condition: Condition::Threshold { cmp: Cmp::Ge, value: min_count as f64 },
+            subject_field: None,
+            guard: None,
+            cooldown_secs: window_secs,
+        }
+    }
+
     /// Early-stop-eligible accession: the streamed mapping rate sits below
     /// `min_rate` once at least `check_fraction` of reads are processed — the
     /// same signal `early_stop.rs` acts on, flagged from the live stream before

@@ -114,6 +114,7 @@ fn fault_burst_alerts_fire_online() {
         duplicate_delivery: 0.1,
         worker_crash_per_job: 0.1,
         spot_bursts: Vec::new(),
+        ..FaultPlan::default()
     });
     cfg.max_receive_count = Some(6);
     cfg.monitor = Some(MonitorConfig {

@@ -104,6 +104,7 @@ fn chaos_plan() -> FaultPlan {
         duplicate_delivery: 0.05,
         worker_crash_per_job: 0.1,
         spot_bursts: Vec::new(),
+        ..FaultPlan::default()
     }
 }
 
